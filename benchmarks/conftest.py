@@ -1,0 +1,44 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one figure of the paper via
+:mod:`repro.experiments`, times it with pytest-benchmark, prints the
+figure's data series, and asserts the DESIGN.md shape criteria.
+
+Expensive executed experiments (Figs 12/13 share runs; Fig 9 shares the
+kernel ladder) are cached per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_rows(title: str, rows, columns) -> None:
+    """Render an experiment's series the way the paper's figure reads."""
+    print(f"\n=== {title} ===")
+    header = " ".join(f"{c:>16}" for c in columns)
+    print(header)
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row[c]
+            if isinstance(v, float):
+                cells.append(f"{v:>16.6g}")
+            else:
+                cells.append(f"{v!s:>16}")
+        print(" ".join(cells))
+
+
+@pytest.fixture(scope="session")
+def potential_bench():
+    from repro.potential.fe import make_fe_potential
+
+    return make_fe_potential(n=2000)
+
+
+@pytest.fixture(scope="session")
+def kmc_comm_rows():
+    """The measured Figure 12/13 runs (shared across both benchmarks)."""
+    from repro.experiments._kmc_comm import run_comm_experiment
+
+    return run_comm_experiment(ranks_list=(8, 27), cycles=6)

@@ -1,0 +1,40 @@
+"""Benchmark: Figure 10 — MD strong scaling to 6.24M cores.
+
+Paper: 26.4x speedup / 41.3% efficiency scaling 3.2e10 atoms from 97,500
+to 6,240,000 master+slave cores.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.experiments import fig10_md_strong_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig10_md_strong_scaling.run()
+
+
+def test_fig10_md_strong_scaling(benchmark, result):
+    benchmark.pedantic(
+        fig10_md_strong_scaling.run, rounds=1, iterations=1
+    )
+    print_rows(
+        "Figure 10: MD strong scaling (3.2e10 atoms)",
+        result["rows"],
+        ["cores", "speedup", "ideal_speedup", "efficiency"],
+    )
+    s = result["summary"]
+    print(
+        f"final: {s['max_speedup']:.1f}x / {s['final_efficiency']:.1%} "
+        f"(paper: {s['paper']['speedup']}x / {s['paper']['efficiency']:.1%})"
+    )
+    # Shape: monotone speedup; efficiency decays into the paper's band.
+    speedups = [r["speedup"] for r in result["rows"]]
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    assert 18 < s["max_speedup"] < 40
+    assert 0.30 < s["final_efficiency"] < 0.55
+    # Communication overtakes computation at the largest scale — the
+    # "caused by the communication overhead" diagnosis.
+    top = result["rows"][-1]
+    assert top["comm"] + top["sync"] > top["compute"]

@@ -1,0 +1,41 @@
+"""Benchmark: Figure 11 — MD weak scaling at 3.9e7 atoms per core group.
+
+Paper: 85% parallel efficiency at 6,656,000 cores (4e12 atoms); flat
+computation, slowly growing communication; the lattice neighbor list's
+memory headroom enables 4e12 atoms where a Verlet-list code fits ~8e11.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.experiments import fig11_md_weak_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig11_md_weak_scaling.run()
+
+
+def test_fig11_md_weak_scaling(benchmark, result):
+    benchmark.pedantic(fig11_md_weak_scaling.run, rounds=1, iterations=1)
+    print_rows(
+        "Figure 11: MD weak scaling (3.9e7 atoms/CG)",
+        result["rows"],
+        ["cores", "compute", "comm", "efficiency"],
+    )
+    s = result["summary"]
+    print(
+        f"final efficiency: {s['final_efficiency']:.1%} (paper: 85%); "
+        f"memory: {s['lattice_list_max_atoms']:.2e} vs "
+        f"{s['verlet_list_max_atoms']:.2e} atoms "
+        f"({s['memory_advantage']:.1f}x; paper 4e12 vs 8e11)"
+    )
+    # Shape: flat compute, growing comm, efficiency in the paper band.
+    assert s["compute_flat_ratio"] == pytest.approx(1.0, abs=1e-9)
+    assert s["comm_growth_ratio"] > 1.3
+    assert 0.75 < s["final_efficiency"] < 0.95
+    # The memory claim: lattice list beats the Verlet list by ~4-6x and
+    # clears the paper's 4e12-atom production point.
+    assert 3.5 < s["memory_advantage"] < 6.5
+    assert s["lattice_list_max_atoms"] > 4e12
+    assert s["verlet_list_max_atoms"] < 4e12

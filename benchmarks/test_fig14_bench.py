@@ -1,0 +1,40 @@
+"""Benchmark: Figure 14 — KMC strong scaling.
+
+Paper: 18.5x speedup / 58.2% efficiency from 1,500 to 48,000 master
+cores at 3.2e10 sites, with super-linear speedup between 3,000 and
+12,000 cores from the MPE L2 cache.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.experiments import fig14_kmc_strong_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig14_kmc_strong_scaling.run()
+
+
+def test_fig14_kmc_strong_scaling(benchmark, result):
+    benchmark.pedantic(fig14_kmc_strong_scaling.run, rounds=1, iterations=1)
+    print_rows(
+        "Figure 14: KMC strong scaling (3.2e10 sites, masters only)",
+        result["rows"],
+        ["cores", "speedup", "ideal_speedup", "efficiency", "l2_resident"],
+    )
+    s = result["summary"]
+    print(
+        f"final: {s['max_speedup']:.1f}x / {s['final_efficiency']:.1%} "
+        f"(paper: 18.5x / 58.2%); super-linear at {s['superlinear_cores']}"
+    )
+    # Shape: a super-linear window in the paper's range, then decay to a
+    # sub-ideal final efficiency.
+    assert s["superlinear_cores"], "no super-linear region"
+    assert all(3000 <= c <= 24000 for c in s["superlinear_cores"])
+    assert 10 < s["max_speedup"] < 28
+    assert 0.35 < s["final_efficiency"] < 0.85
+    # The L2 transition drives the bump: non-resident at the bottom,
+    # resident at the top.
+    assert result["rows"][0]["l2_resident"] is False
+    assert result["rows"][-1]["l2_resident"] is True

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 15 — KMC weak scaling.
+
+Paper: 1e7 sites per master core from 1,600 to 102,400 cores at
+c_v = 2e-6: computation flat, communication (time-sync collectives)
+grows, 74% efficiency at the top.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.experiments import fig15_kmc_weak_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig15_kmc_weak_scaling.run()
+
+
+def test_fig15_kmc_weak_scaling(benchmark, result):
+    benchmark.pedantic(fig15_kmc_weak_scaling.run, rounds=1, iterations=1)
+    print_rows(
+        "Figure 15: KMC weak scaling (1e7 sites/core, masters only)",
+        result["rows"],
+        ["cores", "compute", "comm", "sync", "efficiency"],
+    )
+    s = result["summary"]
+    print(
+        f"final efficiency: {s['final_efficiency']:.1%} (paper: 74%); "
+        f"sync grew x{s['sync_growth_ratio']:.1f}"
+    )
+    # Shape: flat compute; the growing term is the synchronization
+    # collective ("due to the collective operations used for time
+    # synchronization"); efficiency lands in the paper's band.
+    assert s["compute_flat_ratio"] == pytest.approx(1.0, abs=1e-9)
+    assert s["sync_growth_ratio"] > 2.0
+    assert 0.60 < s["final_efficiency"] < 0.95
+    effs = [r["efficiency"] for r in result["rows"]]
+    assert all(a >= b - 1e-12 for a, b in zip(effs, effs[1:]))

@@ -1,0 +1,40 @@
+"""Benchmark: Figure 16 — coupled MD-KMC weak scaling.
+
+Paper: 3.3e5 atoms per core group from 97,500 to 6,240,000 cores;
+annotated efficiencies 98.9% / 77.4% / 75.7%.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.experiments import fig16_coupled_weak_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig16_coupled_weak_scaling.run()
+
+
+def test_fig16_coupled_weak_scaling(benchmark, result):
+    benchmark.pedantic(
+        fig16_coupled_weak_scaling.run, rounds=1, iterations=1
+    )
+    print_rows(
+        "Figure 16: coupled MD-KMC weak scaling (3.3e5 atoms/CG)",
+        result["rows"],
+        ["cores", "md_time", "kmc_time", "efficiency"],
+    )
+    s = result["summary"]
+    print(
+        f"final efficiency: {s['final_efficiency']:.1%} "
+        f"(paper: {s['paper']['efficiency']:.1%})"
+    )
+    # Shape: starts near ideal, decays monotonically into the paper's
+    # band at 6.24M cores.
+    effs = [r["efficiency"] for r in result["rows"]]
+    assert effs[0] == pytest.approx(1.0)
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+    assert 0.50 < s["final_efficiency"] < 0.90
+    # The run is MD-dominated at every scale (50 ps of 1 fs steps).
+    for r in result["rows"]:
+        assert r["md_time"] > r["kmc_time"]

@@ -1,0 +1,55 @@
+"""Benchmark: the in-text memory claim (4e12 vs 8e11 atoms).
+
+§3: the lattice neighbor list simulates 4e12 atoms on 6.656M cores where
+"traditional data structures (such as neighbor list)" manage ~8e11.
+"""
+
+import pytest
+
+from conftest import print_rows
+from repro.experiments import memory_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    return memory_table.run()
+
+
+def test_memory_headroom(benchmark, result):
+    benchmark.pedantic(memory_table.run, rounds=1, iterations=1)
+    print_rows(
+        "Memory headroom at 6,656,000 cores (102,400 CGs x 8 GB)",
+        result["rows"],
+        ["structure", "bytes_per_atom", "max_atoms"],
+    )
+    s = result["summary"]
+    print(
+        f"lattice list / Verlet list advantage: {s['advantage_vs_verlet']:.1f}x "
+        f"(paper: 5x)"
+    )
+    assert 3.5 < s["advantage_vs_verlet"] < 6.5
+    assert s["lattice_list_atoms"] > s["paper"]["lattice_list_atoms"]
+    assert s["verlet_list_atoms"] < s["paper"]["lattice_list_atoms"]
+
+
+def test_kernel_throughput(benchmark, potential_bench):
+    """Time the real blocked EAM kernel step (the compute calibrator)."""
+    import numpy as np
+
+    from repro.lattice.bcc import BCCLattice
+    from repro.md.neighbors.lattice_list import LatticeNeighborList
+    from repro.md.state import AtomState
+    from repro.sunway.arch import SunwayArch
+    from repro.sunway.kernel import STRATEGY_LADDER, BlockedEAMKernel
+
+    lattice = BCCLattice(10, 10, 10)
+    state = AtomState.perfect(lattice)
+    state.x = state.x + np.random.default_rng(0).normal(
+        0, 0.05, state.x.shape
+    )
+    nbl = LatticeNeighborList(lattice, potential_bench.cutoff)
+    kernel = BlockedEAMKernel(
+        SunwayArch(), potential_bench, STRATEGY_LADDER[-1], table_points=2000
+    )
+    report = benchmark(kernel.run_step, state, nbl)
+    assert report.interactions > 0

@@ -1,0 +1,44 @@
+"""Alloy table management: the paper's Fe-Cu scenario (§2.1.2).
+
+Builds the three pair-interaction table sets of a dilute Fe-Cu alloy,
+shows why they cannot all live in a 64 KB local store, and applies the
+paper's residency policy ("only load the compacted table for the element
+with the highest content").
+
+    python examples/alloy_simulation.py
+"""
+
+from repro.potential.alloy import make_fe_cu_alloy, plan_local_store_residency
+from repro.sunway.arch import SunwayArch
+
+
+def main() -> None:
+    arch = SunwayArch()
+    for cu in (0.01, 0.10, 0.50):
+        alloy = make_fe_cu_alloy(cu_fraction=cu, n=5000)
+        print(f"--- Fe-{100 * cu:.0f}%Cu ---")
+        print(f"{'table':20} {'KB':>6} {'access weight':>14}")
+        for label, nbytes, weight in alloy.table_inventory():
+            print(f"{label:20} {nbytes / 1024:>6.1f} {weight:>14.4f}")
+        plan = plan_local_store_residency(
+            alloy, capacity_bytes=arch.local_store_bytes
+        )
+        print(
+            f"resident in the {arch.local_store_bytes // 1024} KB local "
+            f"store: {', '.join(plan.resident)} "
+            f"({plan.resident_bytes / 1024:.0f} KB)"
+        )
+        print(
+            f"served from local store: {plan.hit_weight:.1%} of bond "
+            f"evaluations; the rest pay per-access DMA\n"
+        )
+    print(
+        "paper: 'we only load the compacted table for the element with "
+        "the highest content in the local store, since it would be the "
+        "most frequently used, and leave the other tables in the main "
+        "memory.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Full scaling study: regenerate every scaling figure of the paper.
+
+Prints the modeled series of Figures 10, 11, 14, 15, 16 side by side
+with the paper's reported numbers.
+
+    python examples/scaling_study.py
+"""
+
+from repro.experiments import (
+    fig10_md_strong_scaling,
+    fig11_md_weak_scaling,
+    fig14_kmc_strong_scaling,
+    fig15_kmc_weak_scaling,
+    fig16_coupled_weak_scaling,
+    memory_table,
+)
+
+
+def main() -> None:
+    for module in (
+        fig10_md_strong_scaling,
+        fig11_md_weak_scaling,
+        fig14_kmc_strong_scaling,
+        fig15_kmc_weak_scaling,
+        fig16_coupled_weak_scaling,
+        memory_table,
+    ):
+        title = module.__doc__.strip().splitlines()[0]
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        module.main()
+        print()
+
+
+if __name__ == "__main__":
+    main()

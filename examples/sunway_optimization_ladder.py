@@ -1,0 +1,75 @@
+"""Sunway local-store optimization ladder: the machinery behind Figure 9.
+
+Executes the real EAM force kernel block-by-block on the SW26010 machine
+model under the paper's four optimization variants, showing where the
+time goes (per-neighbor DMA gets vs compute vs block transfers) and how
+the 64 KB local store dictates block sizes.
+
+    python examples/sunway_optimization_ladder.py
+"""
+
+import numpy as np
+
+from repro.lattice.bcc import BCCLattice
+from repro.md.neighbors.lattice_list import LatticeNeighborList
+from repro.md.state import AtomState
+from repro.potential.fe import make_fe_potential
+from repro.sunway.arch import SunwayArch
+from repro.sunway.kernel import STRATEGY_LADDER, BlockedEAMKernel
+
+
+def main() -> None:
+    lattice = BCCLattice(20, 20, 20)
+    potential = make_fe_potential(n=2000)
+    state = AtomState.perfect(lattice)
+    state.x = state.x + np.random.default_rng(0).normal(
+        0, 0.05, state.x.shape
+    )
+    nblist = LatticeNeighborList(lattice, potential.cutoff)
+    arch = SunwayArch()
+
+    print(
+        f"{lattice.nsites} atoms on one core group "
+        f"(64 CPEs, {arch.local_store_bytes // 1024} KB local store each)\n"
+    )
+    print(
+        f"{'variant':42} {'block':>6} {'DMA ops':>9} {'DMA KB':>8} "
+        f"{'time (ms)':>10}"
+    )
+    times = {}
+    for strategy in STRATEGY_LADDER:
+        kernel = BlockedEAMKernel(arch, potential, strategy, table_points=5000)
+        report = kernel.run_step(state, nblist)
+        times[strategy.name] = report.total_time
+        print(
+            f"{strategy.name:42} {report.block_sites:>6} "
+            f"{report.dma.operations:>9,} "
+            f"{report.dma.total_bytes / 1024:>8.0f} "
+            f"{report.total_time * 1e3:>10.3f}"
+        )
+
+    base = times["TraditionalTable"]
+    comp = times["CompactedTable"]
+    reuse = times["CompactedTable+DataReuse"]
+    db = times["CompactedTable+DataReuse+DoubleBuffer"]
+    print(
+        f"\ncompacted table improvement : {(base - comp) / base:.1%} "
+        f"(paper: 54.7% average)"
+    )
+    print(
+        f"+ ghost data reuse          : {(comp - reuse) / comp:.1%} "
+        f"(paper: ~4%)"
+    )
+    print(
+        f"+ double buffer             : {(reuse - db) / reuse:.1%} "
+        f"(paper: no obvious improvement)"
+    )
+    print(
+        "\nwhy the traditional table loses: a 273 KB coefficient matrix "
+        "cannot live in a 64 KB local store, so every neighbor evaluation "
+        "pays 3 blocking DMA row-fetches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 517
+editable wheels; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or ``python setup.py develop``) work there.
+"""
+
+from setuptools import setup
+
+setup()

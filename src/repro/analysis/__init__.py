@@ -1,0 +1,39 @@
+"""Post-processing: defect identification and damage statistics."""
+
+from repro.analysis.vacancies import (
+    identify_vacancies,
+    identify_interstitials,
+    frenkel_pairs,
+    vacancy_concentration,
+)
+from repro.analysis.stats import (
+    cluster_size_distribution,
+    radial_distribution,
+    displacement_histogram,
+)
+from repro.analysis.diffusion import (
+    track_single_vacancy,
+    arrhenius_fit,
+    DiffusionResult,
+)
+from repro.analysis.energies import (
+    vacancy_formation_energy,
+    divacancy_binding_energy,
+    cluster_binding_per_vacancy,
+)
+
+__all__ = [
+    "track_single_vacancy",
+    "arrhenius_fit",
+    "DiffusionResult",
+    "vacancy_formation_energy",
+    "divacancy_binding_energy",
+    "cluster_binding_per_vacancy",
+    "identify_vacancies",
+    "identify_interstitials",
+    "frenkel_pairs",
+    "vacancy_concentration",
+    "cluster_size_distribution",
+    "radial_distribution",
+    "displacement_histogram",
+]

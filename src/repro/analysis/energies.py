@@ -1,0 +1,81 @@
+"""Defect formation and binding energies from the EAM model.
+
+Static (unrelaxed) energetics of point defects, computed on the on-lattice
+KMC energy stencil — the quantities that decide whether the simulated
+physics can reproduce the paper's vacancy-clustering result:
+
+* vacancy formation energy (cost of removing one atom),
+* divacancy binding energy (gain of bringing two vacancies together,
+  which must exceed kB*T at 600 K for clusters to survive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kmc.events import ATOM, VACANCY, KMCModel
+
+
+def configuration_energy(model: KMCModel, occ: np.ndarray) -> float:
+    """Total on-lattice energy: sum of site energies over occupied rows."""
+    rows = np.flatnonzero(occ == ATOM)
+    return float(np.sum(model.site_energy(rows, occ)))
+
+
+def vacancy_formation_energy(model: KMCModel, row: int = 0) -> float:
+    """Unrelaxed monovacancy formation energy (eV).
+
+    ``E_f = E(N-1 atoms with vacancy) - (N-1)/N * E(perfect)`` — the
+    standard supercell formula.
+    """
+    occ = model.perfect_occupancy()
+    e_perfect = configuration_energy(model, occ)
+    occ[row] = VACANCY
+    e_vac = configuration_energy(model, occ)
+    n = model.nrows
+    return e_vac - (n - 1) / n * e_perfect
+
+
+def divacancy_binding_energy(model: KMCModel, row: int = 0, shell: int = 1) -> float:
+    """Unrelaxed divacancy binding energy (eV), positive = bound.
+
+    ``E_b = 2 E_f(mono) - E_f(di)`` with the two vacancies at first- or
+    second-shell separation.
+    """
+    occ = model.perfect_occupancy()
+    e_perfect = configuration_energy(model, occ)
+    n = model.nrows
+    e_f_mono = vacancy_formation_energy(model, row)
+    if shell == 1:
+        partner = int(model.lattice.first_shell_ranks(row)[0])
+    elif shell == 2:
+        partner = int(model.lattice.second_shell_ranks(row)[0])
+    else:
+        raise ValueError(f"shell must be 1 or 2, got {shell}")
+    occ[row] = VACANCY
+    occ[partner] = VACANCY
+    e_di = configuration_energy(model, occ)
+    e_f_di = e_di - (n - 2) / n * e_perfect
+    return 2.0 * e_f_mono - e_f_di
+
+
+def cluster_binding_per_vacancy(
+    model: KMCModel, cluster_rows: np.ndarray
+) -> float:
+    """Binding energy per vacancy of an arbitrary vacancy cluster (eV).
+
+    ``(k * E_f(mono) - E_f(cluster)) / k`` — how much each vacancy gains
+    by sitting in the cluster rather than alone.
+    """
+    cluster_rows = np.asarray(cluster_rows, dtype=np.int64)
+    k = len(cluster_rows)
+    if k < 1:
+        raise ValueError("cluster must contain at least one vacancy")
+    occ = model.perfect_occupancy()
+    e_perfect = configuration_energy(model, occ)
+    n = model.nrows
+    e_f_mono = vacancy_formation_energy(model, int(cluster_rows[0]))
+    occ[cluster_rows] = VACANCY
+    e_cluster = configuration_energy(model, occ)
+    e_f_cluster = e_cluster - (n - k) / n * e_perfect
+    return (k * e_f_mono - e_f_cluster) / k

@@ -1,0 +1,70 @@
+"""Damage statistics: cluster-size distributions, RDFs, displacement spectra."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clusters import cluster_sizes, vacancy_clusters
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.box import Box
+
+
+def cluster_size_distribution(
+    lattice: BCCLattice, vacancy_ranks: np.ndarray
+) -> dict[int, int]:
+    """Histogram {cluster size: count} of the vacancy clusters."""
+    sizes = cluster_sizes(vacancy_clusters(lattice, vacancy_ranks))
+    out: dict[int, int] = {}
+    for s in sizes:
+        out[int(s)] = out.get(int(s), 0) + 1
+    return out
+
+
+def radial_distribution(
+    positions: np.ndarray,
+    box: Box,
+    rmax: float,
+    nbins: int = 50,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Radial distribution function g(r) of a point set.
+
+    Returns ``(r_centers, g)``.  Used to verify the BCC structure is
+    intact after thermalization (peaks at the shell distances) and to
+    characterize vacancy aggregation.
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
+    if n < 2:
+        raise ValueError("need at least two points for a g(r)")
+    if rmax <= 0 or nbins < 1:
+        raise ValueError("rmax must be positive and nbins >= 1")
+    delta = box.minimum_image(positions[None, :, :] - positions[:, None, :])
+    dist = np.linalg.norm(delta, axis=-1)
+    iu = np.triu_indices(n, k=1)
+    d = dist[iu]
+    d = d[d <= rmax]
+    counts, edges = np.histogram(d, bins=nbins, range=(0.0, rmax))
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    # Normalize against the ideal-gas expectation.
+    density = n / box.volume
+    shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    expected = 0.5 * n * density * shell_vol
+    with np.errstate(divide="ignore", invalid="ignore"):
+        g = np.where(expected > 0, counts / expected, 0.0)
+    return centers, g
+
+
+def displacement_histogram(
+    displacements: np.ndarray, nbins: int = 30, dmax: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of atom displacements from their lattice points.
+
+    The bulk thermal peak sits well below the run-away threshold; cascade
+    tails extend beyond it.  Returns ``(bin_centers, counts)``.
+    """
+    displacements = np.asarray(displacements, dtype=float)
+    if dmax is None:
+        dmax = float(displacements.max()) if len(displacements) else 1.0
+        dmax = max(dmax, 1e-6)
+    counts, edges = np.histogram(displacements, bins=nbins, range=(0.0, dmax))
+    return 0.5 * (edges[:-1] + edges[1:]), counts

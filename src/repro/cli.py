@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library, machine-model, and experiment inventory.
+``coupled``
+    Run the coupled MD-KMC pipeline at a chosen box size.
+``cascade``
+    Run one MD cascade and report the damage inventory.
+``kmc-schemes``
+    Compare the three parallel-KMC communication schemes.
+``figure <id>``
+    Regenerate a paper figure (``fig09`` .. ``fig17``, ``memory``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+#: Figure id -> experiment module name.
+FIGURES = {
+    "fig09": "fig09_md_optimizations",
+    "fig10": "fig10_md_strong_scaling",
+    "fig11": "fig11_md_weak_scaling",
+    "fig12": "fig12_kmc_comm_volume",
+    "fig13": "fig13_kmc_comm_time",
+    "fig14": "fig14_kmc_strong_scaling",
+    "fig15": "fig15_kmc_weak_scaling",
+    "fig16": "fig16_coupled_weak_scaling",
+    "fig17": "fig17_vacancy_clustering",
+    "memory": "memory_table",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Coupled MD-KMC metal damage simulation "
+            "(ICPP 2018 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and machine-model inventory")
+
+    coupled = sub.add_parser("coupled", help="run the coupled MD-KMC pipeline")
+    coupled.add_argument("--cells", type=int, default=8)
+    coupled.add_argument("--events", type=int, default=500)
+    coupled.add_argument("--temperature", type=float, default=600.0)
+    coupled.add_argument("--seed", type=int, default=2018)
+
+    cascade = sub.add_parser("cascade", help="run one MD cascade")
+    cascade.add_argument("--cells", type=int, default=6)
+    cascade.add_argument("--pka", type=float, default=120.0)
+    cascade.add_argument("--steps", type=int, default=150)
+    cascade.add_argument("--temperature", type=float, default=300.0)
+    cascade.add_argument("--seed", type=int, default=3)
+
+    schemes = sub.add_parser(
+        "kmc-schemes", help="compare parallel-KMC communication schemes"
+    )
+    schemes.add_argument("--cells", type=int, default=8)
+    schemes.add_argument("--ranks", type=int, default=8)
+    schemes.add_argument("--cycles", type=int, default=8)
+    schemes.add_argument("--vacancies", type=int, default=20)
+    schemes.add_argument("--seed", type=int, default=5)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("id", choices=sorted(FIGURES))
+
+    return parser
+
+
+def cmd_info() -> int:
+    import repro
+    from repro.perfmodel.machine import TAIHULIGHT
+
+    print(f"repro {repro.__version__} — ICPP 2018 reproduction")
+    print(
+        "paper: Massively Scaling the Metal Microscopic Damage Simulation "
+        "on Sunway TaihuLight Supercomputer (Li et al.)"
+    )
+    arch = TAIHULIGHT.arch
+    print(
+        f"\nmachine model: {TAIHULIGHT.nodes:,} nodes x "
+        f"{TAIHULIGHT.cgs_per_node} CGs x {arch.cores_per_cg} cores = "
+        f"{TAIHULIGHT.total_cores:,} cores"
+    )
+    print(
+        f"  CPE local store {arch.local_store_bytes // 1024} KB, "
+        f"{arch.memory_per_cg / 1024**3:.0f} GB/CG, "
+        f"{arch.clock_hz / 1e9:.2f} GHz"
+    )
+    print("\nregenerable figures:")
+    for fid, module in sorted(FIGURES.items()):
+        print(f"  {fid:7s} -> repro.experiments.{module}")
+    return 0
+
+
+def cmd_coupled(args) -> int:
+    from repro.core.coupling import CoupledConfig, CoupledSimulation
+
+    sim = CoupledSimulation(
+        CoupledConfig(
+            cells=args.cells,
+            temperature=args.temperature,
+            kmc_max_events=args.events,
+            seed=args.seed,
+        )
+    )
+    print(f"coupled MD-KMC over {sim.lattice.nsites} sites ...")
+    result = sim.run()
+    print(f"after MD : {result.report_after_md}")
+    print(f"after KMC: {result.report_after_kmc}")
+    print(
+        f"{result.kmc_events} events over {result.kmc_time:.3g} ps "
+        f"-> {result.real_time_seconds:.3g} s real time"
+    )
+    return 0
+
+
+def cmd_cascade(args) -> int:
+    from repro.lattice.bcc import BCCLattice
+    from repro.md.cascade import CascadeConfig, run_cascade
+    from repro.md.engine import MDConfig, MDEngine
+    from repro.potential.fe import make_fe_potential
+
+    engine = MDEngine(
+        BCCLattice(args.cells, args.cells, args.cells),
+        make_fe_potential(n=2000),
+        MDConfig(temperature=args.temperature, seed=args.seed),
+    )
+    result = run_cascade(
+        engine,
+        CascadeConfig(
+            pka_energy=args.pka,
+            nsteps=args.steps,
+            temperature=args.temperature,
+        ),
+    )
+    print(
+        f"PKA {args.pka} eV -> {len(result.vacancy_rows)} vacancies, "
+        f"{result.n_runaways} interstitials "
+        f"({result.n_frenkel_pairs} Frenkel pairs); "
+        f"final T {result.final_temperature:.0f} K"
+    )
+    return 0
+
+
+def cmd_kmc_schemes(args) -> int:
+    import numpy as np
+
+    from repro.kmc.akmc import ParallelAKMC, place_random_vacancies
+    from repro.kmc.events import KMCModel, RateParameters
+    from repro.lattice.bcc import BCCLattice
+    from repro.potential.fe import make_fe_potential
+
+    lattice = BCCLattice(args.cells, args.cells, args.cells)
+    potential = make_fe_potential(n=1000)
+    params = RateParameters()
+    occ0 = place_random_vacancies(
+        KMCModel(lattice, potential, params),
+        args.vacancies,
+        np.random.default_rng(args.seed),
+    )
+    reference = None
+    print(f"{'scheme':>12} {'events':>7} {'bytes':>12} {'messages':>9}")
+    for scheme in ("traditional", "ondemand", "onesided"):
+        engine = ParallelAKMC(
+            lattice,
+            potential,
+            params,
+            nranks=args.ranks,
+            scheme=scheme,
+            seed=args.seed,
+        )
+        result = engine.run(occ0, max_cycles=args.cycles)
+        stats = result.comm_stats
+        print(
+            f"{scheme:>12} {result.events:>7} "
+            f"{stats['total_sent_bytes']:>12,} "
+            f"{stats['total_messages']:>9,}"
+        )
+        if reference is None:
+            reference = result.occupancy
+        elif not np.array_equal(result.occupancy, reference):
+            print("ERROR: schemes diverged", file=sys.stderr)
+            return 1
+    print("all schemes produced identical trajectories")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    import importlib
+
+    module = importlib.import_module(
+        f"repro.experiments.{FIGURES[args.id]}"
+    )
+    module.main()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return cmd_info()
+    if args.command == "coupled":
+        return cmd_coupled(args)
+    if args.command == "cascade":
+        return cmd_cascade(args)
+    if args.command == "kmc-schemes":
+        return cmd_kmc_schemes(args)
+    if args.command == "figure":
+        return cmd_figure(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Validated top-level configuration helpers.
+
+Collects the cross-cutting knobs of a damage-simulation campaign in one
+validated object, with presets matching the paper's §3 setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import DEFAULT_TEMPERATURE, FE_LATTICE_CONSTANT
+from repro.kmc.events import RateParameters
+from repro.md.cascade import CascadeConfig
+from repro.md.engine import MDConfig
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """A complete, validated campaign configuration.
+
+    Attributes
+    ----------
+    cells:
+        Conventional cells per axis of the cubic box.
+    lattice_constant:
+        BCC lattice constant in angstrom (paper: 2.855).
+    temperature:
+        Temperature in kelvin (paper: 600).
+    md / cascade / rates:
+        Stage-specific parameter blocks, pre-wired to the shared
+        temperature.
+    seed:
+        Master seed from which every stage's RNG streams derive.
+    """
+
+    cells: int = 8
+    lattice_constant: float = FE_LATTICE_CONSTANT
+    temperature: float = DEFAULT_TEMPERATURE
+    seed: int = 2018
+    md: MDConfig = field(default_factory=MDConfig)
+    cascade: CascadeConfig = field(default_factory=CascadeConfig)
+    rates: RateParameters = field(default_factory=RateParameters)
+
+    def __post_init__(self) -> None:
+        if self.cells < 5:
+            raise ValueError(
+                f"cells must be >= 5 (box >= 2*(cutoff+skin)), got {self.cells}"
+            )
+        if self.lattice_constant <= 0:
+            raise ValueError("lattice_constant must be positive")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        for name, value in (
+            ("md.temperature", self.md.temperature),
+            ("cascade.temperature", self.cascade.temperature),
+            ("rates.temperature", self.rates.temperature),
+        ):
+            if abs(value - self.temperature) > 1e-9:
+                raise ValueError(
+                    f"{name}={value} disagrees with the campaign temperature "
+                    f"{self.temperature}; build stage configs via paper_setup()"
+                )
+
+    @property
+    def nsites(self) -> int:
+        return 2 * self.cells**3
+
+
+def paper_setup(cells: int = 8, seed: int = 2018) -> SimulationConfig:
+    """The paper's §3 configuration at a chosen (toy) box size.
+
+    Fe at 600 K, lattice constant 2.855, 1 fs MD steps; stage configs all
+    share the campaign temperature.
+    """
+    t = DEFAULT_TEMPERATURE
+    return SimulationConfig(
+        cells=cells,
+        temperature=t,
+        seed=seed,
+        md=MDConfig(temperature=t, seed=seed),
+        cascade=CascadeConfig(temperature=t),
+        rates=RateParameters(temperature=t),
+    )

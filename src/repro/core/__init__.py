@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the coupled MD-KMC pipeline.
+
+MD simulates cascade-collision damage over ~50 ps and hands the vacancy
+inventory to AKMC, which evolves clustering over a days-scale *real* time
+horizon computed by the paper's timescale formula.
+"""
+
+from repro.core.timescale import (
+    real_vacancy_concentration,
+    kmc_real_time,
+    paper_timescale_days,
+)
+from repro.core.clusters import (
+    vacancy_clusters,
+    cluster_sizes,
+    clustering_report,
+    mean_nn_distance,
+)
+from repro.core.coupling import CoupledConfig, CoupledSimulation, CoupledResult
+
+__all__ = [
+    "real_vacancy_concentration",
+    "kmc_real_time",
+    "paper_timescale_days",
+    "vacancy_clusters",
+    "cluster_sizes",
+    "clustering_report",
+    "mean_nn_distance",
+    "CoupledConfig",
+    "CoupledSimulation",
+    "CoupledResult",
+]

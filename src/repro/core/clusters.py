@@ -1,0 +1,114 @@
+"""Vacancy cluster identification and clustering statistics.
+
+The paper's Figure 17 shows the scientific payoff of the coupled pipeline:
+vacancies are "very dispersive" after MD and form clusters after KMC.  We
+quantify that with connected-component analysis over the vacancy adjacency
+graph (two vacancies are bonded when within a neighbor-shell distance) and
+dispersion metrics on the vacancy point cloud.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.box import Box
+
+
+def vacancy_clusters(
+    lattice: BCCLattice,
+    vacancy_ranks: np.ndarray,
+    bond_distance: float | None = None,
+) -> list[set[int]]:
+    """Partition vacancies into clusters of mutually adjacent sites.
+
+    Two vacancies belong to the same cluster when connected through a
+    chain of pairs within ``bond_distance`` (default: just past the second
+    BCC shell, the conventional nearest-neighbor cluster criterion).
+    Returns a list of site-rank sets, largest first.
+    """
+    vacancy_ranks = np.asarray(vacancy_ranks, dtype=np.int64)
+    if bond_distance is None:
+        bond_distance = 1.05 * lattice.a
+    if len(vacancy_ranks) == 0:
+        return []
+    box = Box.for_lattice(lattice)
+    pos = lattice.position_of(vacancy_ranks)
+    graph = nx.Graph()
+    graph.add_nodes_from(int(r) for r in vacancy_ranks)
+    # Pairwise adjacency; vacancy counts are small by construction
+    # (concentrations of 1e-6..1e-4), so O(V^2) is fine.
+    delta = box.minimum_image(pos[None, :, :] - pos[:, None, :])
+    dist = np.linalg.norm(delta, axis=-1)
+    ii, jj = np.nonzero(np.triu(dist <= bond_distance, k=1))
+    for a, b in zip(ii, jj):
+        graph.add_edge(int(vacancy_ranks[a]), int(vacancy_ranks[b]))
+    comps = [set(c) for c in nx.connected_components(graph)]
+    return sorted(comps, key=len, reverse=True)
+
+
+def cluster_sizes(clusters: list[set[int]]) -> np.ndarray:
+    """Cluster sizes, descending."""
+    return np.asarray(sorted((len(c) for c in clusters), reverse=True), dtype=int)
+
+
+def mean_nn_distance(lattice: BCCLattice, vacancy_ranks: np.ndarray) -> float:
+    """Mean nearest-neighbor distance among vacancies (dispersion metric).
+
+    Large when vacancies are scattered; shrinks toward the first-shell
+    distance as they aggregate.
+    """
+    vacancy_ranks = np.asarray(vacancy_ranks, dtype=np.int64)
+    if len(vacancy_ranks) < 2:
+        return math.nan
+    box = Box.for_lattice(lattice)
+    pos = lattice.position_of(vacancy_ranks)
+    delta = box.minimum_image(pos[None, :, :] - pos[:, None, :])
+    dist = np.linalg.norm(delta, axis=-1)
+    np.fill_diagonal(dist, np.inf)
+    return float(np.mean(np.min(dist, axis=1)))
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """Summary statistics of a vacancy configuration."""
+
+    n_vacancies: int
+    n_clusters: int
+    max_cluster: int
+    mean_cluster: float
+    clustered_fraction: float
+    mean_nn_distance: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_vacancies} vacancies in {self.n_clusters} clusters "
+            f"(max {self.max_cluster}, mean {self.mean_cluster:.2f}, "
+            f"{100 * self.clustered_fraction:.0f}% in clusters >= 2, "
+            f"mean NN distance {self.mean_nn_distance:.2f} A)"
+        )
+
+
+def clustering_report(
+    lattice: BCCLattice,
+    vacancy_ranks: np.ndarray,
+    bond_distance: float | None = None,
+) -> ClusteringReport:
+    """Compute the full clustering summary of a vacancy set."""
+    vacancy_ranks = np.asarray(vacancy_ranks, dtype=np.int64)
+    clusters = vacancy_clusters(lattice, vacancy_ranks, bond_distance)
+    sizes = cluster_sizes(clusters)
+    n = len(vacancy_ranks)
+    clustered = int(np.sum(sizes[sizes >= 2])) if len(sizes) else 0
+    return ClusteringReport(
+        n_vacancies=n,
+        n_clusters=len(clusters),
+        max_cluster=int(sizes[0]) if len(sizes) else 0,
+        mean_cluster=float(np.mean(sizes)) if len(sizes) else 0.0,
+        clustered_fraction=clustered / n if n else 0.0,
+        mean_nn_distance=mean_nn_distance(lattice, vacancy_ranks),
+    )

@@ -1,0 +1,57 @@
+"""Figure 12: KMC communication volume, traditional vs on-demand.
+
+Paper setup: 1.6e7 sites on 16-1024 master cores, vacancy concentration
+4.5e-5.  Finding: "The on-demand communication strategy reduces the
+communication volume to 2.6% of the traditional method on average."
+
+Reproduction: *measured bytes* from real parallel AKMC runs on the
+in-process runtime, both schemes driven through identical trajectories
+(asserted).  Scale is reduced (see ``_kmc_comm``); the mechanism — only
+event-affected sites travel, and events are scarce — is identical, so
+the on-demand volume lands at a few percent or less of the traditional
+strips.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments._kmc_comm import DEFAULT_RANKS, run_comm_experiment
+
+PAPER_VOLUME_RATIO = 0.026
+
+
+def run(ranks_list=DEFAULT_RANKS, cycles: int = 8, seed: int = 2018) -> dict:
+    """Regenerate the Figure 12 volume comparison."""
+    rows = run_comm_experiment(tuple(ranks_list), cycles=cycles, seed=seed)
+    ratios = [r["volume_ratio"] for r in rows]
+    summary = {
+        "mean_volume_ratio": math.exp(
+            sum(math.log(x) for x in ratios) / len(ratios)
+        ),
+        "paper": {"volume_ratio": PAPER_VOLUME_RATIO},
+    }
+    return {"rows": rows, "summary": summary}
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(
+        f"{'ranks':>6} {'sites':>7} {'events':>7} {'traditional (B)':>16} "
+        f"{'on-demand (B)':>14} {'ratio':>8}"
+    )
+    for r in result["rows"]:
+        print(
+            f"{r['ranks']:>6} {r['nsites']:>7} {r['events']:>7} "
+            f"{r['traditional_bytes']:>16,} {r['ondemand_bytes']:>14,} "
+            f"{r['volume_ratio']:>8.2%}"
+        )
+    s = result["summary"]
+    print(
+        f"\ngeometric-mean volume ratio: {s['mean_volume_ratio']:.2%} "
+        f"(paper: {s['paper']['volume_ratio']:.1%})"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

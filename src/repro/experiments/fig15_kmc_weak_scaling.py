@@ -1,0 +1,56 @@
+"""Figure 15: KMC weak scaling, 1e7 sites per master core.
+
+Paper findings: "We keep 1e7 sites per core as the number of cores
+increases from 1,600 to 102,400. ... the computation time remains almost
+constant while the communication time increases gradually. The increased
+communication time is due to the collective operations used for time
+synchronization. Our KMC code scales up to 102,400 cores with 74%
+parallel efficiency."  Vacancy concentration: 2e-6.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.calibrate import calibrate_from_kernels
+from repro.perfmodel.kmc_model import KMCScalingModel, paper_kmc_weak_cores
+
+PAPER_SITES_PER_CORE = 1e7
+PAPER_EFFICIENCY = 0.74
+PAPER_CONCENTRATION = 2e-6
+
+
+def run(sites_per_core: float = PAPER_SITES_PER_CORE, cores_list=None) -> dict:
+    """Regenerate the Figure 15 compute/communication bars."""
+    cores_list = list(cores_list or paper_kmc_weak_cores())
+    model = KMCScalingModel(
+        calibrate_from_kernels(), vacancy_concentration=PAPER_CONCENTRATION
+    )
+    rows = model.weak_scaling(sites_per_core, cores_list)
+    summary = {
+        "final_efficiency": rows[-1]["efficiency"],
+        "compute_flat_ratio": rows[-1]["compute"] / rows[0]["compute"],
+        "comm_growth_ratio": rows[-1]["comm"] / rows[0]["comm"],
+        "sync_growth_ratio": rows[-1]["sync"] / rows[0]["sync"],
+        "paper": {"efficiency": PAPER_EFFICIENCY},
+    }
+    return {"rows": rows, "summary": summary}
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(f"{'cores':>9} {'compute(ms)':>12} {'comm(ms)':>9} {'eff':>7}")
+    for r in result["rows"]:
+        print(
+            f"{r['cores']:>9,} {r['compute'] * 1e3:>12.2f} "
+            f"{r['comm'] * 1e3:>9.2f} {r['efficiency']:>6.1%}"
+        )
+    s = result["summary"]
+    print(
+        f"\nfinal efficiency: {s['final_efficiency']:.1%} "
+        f"(paper: {s['paper']['efficiency']:.0%}); compute flat "
+        f"(x{s['compute_flat_ratio']:.2f}), comm grows "
+        f"(x{s['comm_growth_ratio']:.2f})"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,50 @@
+"""Figure 16: coupled MD-KMC weak scaling, 3.3e5 atoms per core group.
+
+Paper finding: "The number of cores increases from 97,500 to 6,240,000
+while the number of atoms increases from 5.0e8 to 3.2e10. ... attains
+75.7% parallel efficiency on 6,240,000 cores" (annotated points: 98.9%,
+77.4%, 75.7%).
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.calibrate import calibrate_from_kernels
+from repro.perfmodel.coupled_model import (
+    CoupledScalingModel,
+    paper_coupled_atoms_per_cg,
+    paper_coupled_cores,
+)
+
+PAPER_EFFICIENCY = 0.757
+
+
+def run(atoms_per_cg: float | None = None, cores_list=None) -> dict:
+    """Regenerate the Figure 16 efficiency series."""
+    atoms_per_cg = atoms_per_cg or paper_coupled_atoms_per_cg()
+    cores_list = list(cores_list or paper_coupled_cores())
+    model = CoupledScalingModel(calibrate_from_kernels())
+    rows = model.weak_scaling(atoms_per_cg, cores_list)
+    summary = {
+        "final_efficiency": rows[-1]["efficiency"],
+        "paper": {"efficiency": PAPER_EFFICIENCY, "series": (0.989, 0.774, 0.757)},
+    }
+    return {"rows": rows, "summary": summary}
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(f"{'cores':>10} {'MD (min)':>9} {'KMC (min)':>10} {'eff':>7}")
+    for r in result["rows"]:
+        print(
+            f"{r['cores']:>10,} {r['md_time'] / 60:>9.1f} "
+            f"{r['kmc_time'] / 60:>10.1f} {r['efficiency']:>6.1%}"
+        )
+    s = result["summary"]
+    print(
+        f"\nfinal efficiency: {s['final_efficiency']:.1%} "
+        f"(paper: {s['paper']['efficiency']:.1%})"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,18 @@
+"""I/O: trajectory dumps, structured state dumps, checkpoints."""
+
+from repro.io.xyz import write_xyz, read_xyz, write_vacancy_xyz
+from repro.io.dump import dump_state, load_state
+from repro.io.checkpoint import save_checkpoint, load_checkpoint, CheckpointError
+from repro.io.kmc_trajectory import KMCTrajectory
+
+__all__ = [
+    "KMCTrajectory",
+    "write_xyz",
+    "read_xyz",
+    "write_vacancy_xyz",
+    "dump_state",
+    "load_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointError",
+]

@@ -1,0 +1,63 @@
+"""Checkpoint/restore of MD engines and KMC occupancies.
+
+A long coupled run (the paper's is 8.6 hours) must survive interruption;
+checkpoints capture enough to resume: the full atom state, the run-away
+atom linked lists, the step counter, and RNG-relevant seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.dump import dump_state, load_state
+from repro.md.engine import MDEngine
+from repro.md.neighbors.lattice_list import RunawayAtom
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be restored into the given engine."""
+
+
+def save_checkpoint(path, engine: MDEngine) -> None:
+    """Write the engine's resumable state to ``path`` (.npz)."""
+    runs = engine.nblist.runaways
+    extra = {
+        "step": np.array(engine._step),
+        "runaway_ids": np.array([a.id for a in runs], dtype=np.int64),
+        "runaway_x": np.array([a.x for a in runs]).reshape(-1, 3),
+        "runaway_v": np.array([a.v for a in runs]).reshape(-1, 3),
+        "runaway_f": np.array([a.f for a in runs]).reshape(-1, 3),
+        "runaway_rho": np.array([a.rho for a in runs]),
+        "runaway_host": np.array([a.host for a in runs], dtype=np.int64),
+        "lattice_dims": np.array(
+            [engine.lattice.nx, engine.lattice.ny, engine.lattice.nz]
+        ),
+        "lattice_a": np.array(engine.lattice.a),
+    }
+    dump_state(path, engine.state, extra)
+
+
+def load_checkpoint(path, engine: MDEngine) -> None:
+    """Restore a checkpoint into a compatible engine, in place."""
+    state, extra = load_state(path)
+    dims = extra["lattice_dims"]
+    if tuple(dims) != (engine.lattice.nx, engine.lattice.ny, engine.lattice.nz):
+        raise CheckpointError(
+            f"lattice mismatch: checkpoint {tuple(dims)} vs engine "
+            f"({engine.lattice.nx}, {engine.lattice.ny}, {engine.lattice.nz})"
+        )
+    if abs(float(extra["lattice_a"]) - engine.lattice.a) > 1e-12:
+        raise CheckpointError("lattice constant mismatch")
+    engine.state = state
+    engine._step = int(extra["step"])
+    engine.nblist.hosts.clear()
+    for i in range(len(extra["runaway_ids"])):
+        atom = RunawayAtom(
+            id=int(extra["runaway_ids"][i]),
+            x=extra["runaway_x"][i].copy(),
+            v=extra["runaway_v"][i].copy(),
+            host=int(extra["runaway_host"][i]),
+            f=extra["runaway_f"][i].copy(),
+            rho=float(extra["runaway_rho"][i]),
+        )
+        engine.nblist.hosts.setdefault(atom.host, []).append(atom)

@@ -1,0 +1,90 @@
+"""KMC trajectory recording: occupancy frames with timestamps.
+
+A coupled run's scientific output is the evolution of the site array;
+:class:`KMCTrajectory` accumulates (time, occupancy) frames, persists
+them as one compressed ``.npz``, and exports any frame's vacancy cloud as
+extended XYZ for visualization (the raw material of Figure 17's panels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.xyz import write_vacancy_xyz
+from repro.lattice.bcc import BCCLattice
+
+#: Format marker stored in every trajectory file.
+FORMAT = "repro-kmc-trajectory-v1"
+
+
+class KMCTrajectory:
+    """An in-memory sequence of timestamped occupancy frames."""
+
+    def __init__(self, lattice: BCCLattice) -> None:
+        self.lattice = lattice
+        self.times: list[float] = []
+        self.frames: list[np.ndarray] = []
+
+    def record(self, time: float, occupancy: np.ndarray) -> None:
+        """Append one frame (copied)."""
+        occupancy = np.asarray(occupancy, dtype=np.int8)
+        if len(occupancy) != self.lattice.nsites:
+            raise ValueError(
+                f"frame has {len(occupancy)} sites, lattice has "
+                f"{self.lattice.nsites}"
+            )
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time must be non-decreasing: {time} < {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.frames.append(occupancy.copy())
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def vacancy_ranks(self, frame: int) -> np.ndarray:
+        """Vacancy site ranks of one frame."""
+        return np.flatnonzero(self.frames[frame] == 0)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write all frames to a compressed ``.npz``."""
+        if not self.frames:
+            raise ValueError("trajectory has no frames")
+        np.savez_compressed(
+            path,
+            format=np.array(FORMAT),
+            dims=np.array(
+                [self.lattice.nx, self.lattice.ny, self.lattice.nz]
+            ),
+            a=np.array(self.lattice.a),
+            times=np.array(self.times),
+            frames=np.stack(self.frames),
+        )
+
+    @classmethod
+    def load(cls, path) -> "KMCTrajectory":
+        """Read a trajectory back (lattice reconstructed from metadata)."""
+        with np.load(path, allow_pickle=False) as data:
+            if str(data["format"]) != FORMAT:
+                raise ValueError(f"{path} is not a {FORMAT} file")
+            nx, ny, nz = (int(v) for v in data["dims"])
+            traj = cls(BCCLattice(nx, ny, nz, a=float(data["a"])))
+            for t, frame in zip(data["times"], data["frames"]):
+                traj.record(float(t), frame)
+        return traj
+
+    def export_vacancy_xyz(self, path, frame: int = -1) -> None:
+        """Dump one frame's vacancy cloud as extended XYZ."""
+        if not self.frames:
+            raise ValueError("trajectory has no frames")
+        idx = range(len(self.frames))[frame]
+        write_vacancy_xyz(
+            path,
+            self.lattice,
+            self.vacancy_ranks(idx),
+            comment=f"frame {idx}, t = {self.times[idx]:.6g} ps",
+        )

@@ -1,0 +1,76 @@
+"""Extended-XYZ trajectory output.
+
+The simulation results of Figure 17 are rendered from vacancy point
+clouds; these helpers write atom/vacancy configurations in the extended
+XYZ dialect every materials-science visualizer (OVITO, VMD, ASE) reads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+
+def write_xyz(
+    path,
+    symbols,
+    positions: np.ndarray,
+    comment: str = "",
+    lengths: np.ndarray | None = None,
+    append: bool = False,
+) -> None:
+    """Write one frame: ``symbols`` (str or list) + ``(n, 3)`` positions.
+
+    With ``lengths`` the comment line carries an extended-XYZ ``Lattice``
+    field for the periodic box.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError(f"positions must be (n, 3), got {positions.shape}")
+    n = len(positions)
+    if isinstance(symbols, str):
+        symbols = [symbols] * n
+    if len(symbols) != n:
+        raise ValueError(f"{len(symbols)} symbols for {n} positions")
+    if lengths is not None:
+        lx, ly, lz = np.asarray(lengths, dtype=float)
+        lattice = f'Lattice="{lx} 0 0 0 {ly} 0 0 0 {lz}" '
+    else:
+        lattice = ""
+    comment = comment.replace("\n", " ")
+    lines = [str(n), f"{lattice}{comment}".strip()]
+    for sym, (x, y, z) in zip(symbols, positions):
+        lines.append(f"{sym} {x:.8f} {y:.8f} {z:.8f}")
+    mode = "a" if append else "w"
+    with open(path, mode) as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def read_xyz(path):
+    """Read the first frame of an XYZ file: ``(symbols, positions)``."""
+    text = Path(path).read_text().splitlines()
+    if len(text) < 2:
+        raise ValueError(f"{path} is not an XYZ file")
+    n = int(text[0])
+    if len(text) < 2 + n:
+        raise ValueError(f"{path} truncated: expected {n} atom lines")
+    symbols = []
+    positions = np.empty((n, 3))
+    for i, line in enumerate(text[2 : 2 + n]):
+        parts = line.split()
+        symbols.append(parts[0])
+        positions[i] = [float(p) for p in parts[1:4]]
+    return symbols, positions
+
+
+def write_vacancy_xyz(path, lattice, vacancy_ranks, comment: str = "") -> None:
+    """Dump a vacancy point cloud (the white points of Figure 17)."""
+    ranks = np.asarray(vacancy_ranks, dtype=np.int64)
+    write_xyz(
+        path,
+        "V",
+        lattice.position_of(ranks) if len(ranks) else np.empty((0, 3)),
+        comment=comment or f"{len(ranks)} vacancies",
+        lengths=lattice.lengths,
+    )

@@ -1,0 +1,290 @@
+"""On-lattice EAM energetics and vacancy-hop event rates (Equation 4).
+
+The AKMC model maps every atom/vacancy to a lattice point, so all
+interaction distances are *static* shell distances and the EAM site energy
+reduces to masked dot products over precomputed per-slot constants:
+
+    E_site(s) = 1/2 * sum_m occ[nbr_m(s)] * phi(d_m)
+              + F( sum_m occ[nbr_m(s)] * f(d_m) )
+
+A vacancy at site v may exchange with any occupied first-shell neighbor t
+("eight possible events for a vacancy"); the transition rate is
+
+    k = nu * exp(-dE / (kB * T)),
+    dE = max(e_m0 + (E_after - E_before) / 2, dE_min)
+
+with ``E_before`` the EAM site energy of the hopping atom at t and
+``E_after`` its energy once placed at v (with t vacated) — the standard
+broken-bond AKMC form with the EAM supplying the bond energies, matching
+"KMC uses the EAM potential to calculate the probability of the vacancy
+transition".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import KB_EV
+from repro.lattice.bcc import BCCLattice
+from repro.potential.eam import EAMPotential
+
+#: Occupancy codes of the site array.
+ATOM: int = 1
+VACANCY: int = 0
+
+
+@dataclass(frozen=True)
+class RateParameters:
+    """Physical parameters of the vacancy-hop rate model.
+
+    Attributes
+    ----------
+    nu:
+        Attempt frequency (pre-exponential factor) in 1/ps; the canonical
+        Debye-scale value is ~10/ps (1e13 Hz).
+    e_m0:
+        Reference migration barrier in eV (Fe vacancy ~0.65 eV).
+    temperature:
+        Temperature in K (the paper evaluates at 600 K).
+    energy_cutoff:
+        EAM shell radius (angstrom) used for on-lattice site energies.
+        The default covers the first two BCC shells — the dominant bond
+        contributions — keeping ghost shells thin.
+    de_min:
+        Floor on the migration energy (a hop is never barrier-free).
+    """
+
+    nu: float = 10.0
+    e_m0: float = 0.65
+    temperature: float = 600.0
+    energy_cutoff: float = 2.9
+    de_min: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.nu <= 0:
+            raise ValueError(f"nu must be positive, got {self.nu}")
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {self.temperature}")
+        if self.energy_cutoff <= 0:
+            raise ValueError("energy_cutoff must be positive")
+
+    @property
+    def kt(self) -> float:
+        """kB*T in eV."""
+        return KB_EV * self.temperature
+
+    @property
+    def reference_rate(self) -> float:
+        """The hop rate at the reference barrier, ``nu * exp(-e_m0/kT)``.
+
+        Occupancy-independent, so every rank (and every communication
+        scheme) derives identical synchronous time steps from it.
+        """
+        return self.nu * math.exp(-self.e_m0 / self.kt)
+
+
+def build_static_matrix(
+    lattice: BCCLattice,
+    cutoff: float,
+    sites: np.ndarray,
+    strict: bool = True,
+):
+    """Static neighbor matrix over a site subset, with per-slot distances.
+
+    Returns ``(matrix, valid, dist)``: row indices into ``sites`` of each
+    site's neighbors within ``cutoff``, the valid-slot mask, and the
+    (static) lattice distances per slot.  With ``strict`` the function
+    raises if a neighbor is missing from ``sites`` (too-thin ghost shell);
+    otherwise such slots are marked invalid.
+    """
+    offsets = lattice.offsets_within(cutoff)
+    b, i, j, k = lattice.coords_of(sites)
+    m = offsets.max_count
+    n = len(sites)
+    matrix_global = np.zeros((n, m), dtype=np.int64)
+    valid = np.zeros((n, m), dtype=bool)
+    dist = np.zeros((n, m))
+    for basis in (0, 1):
+        rows = offsets.for_basis(basis)
+        d_a = (
+            offsets.corner_distances if basis == 0 else offsets.center_distances
+        ) * lattice.a
+        sel = np.flatnonzero(b == basis)
+        if len(sel) == 0:
+            continue
+        nb = np.where(rows[:, 0] == 0, basis, 1 - basis)
+        gi = i[sel, None] + rows[None, :, 1]
+        gj = j[sel, None] + rows[None, :, 2]
+        gk = k[sel, None] + rows[None, :, 3]
+        ranks = lattice.rank_of(np.broadcast_to(nb, gi.shape), gi, gj, gk)
+        matrix_global[sel[:, None], np.arange(len(rows))[None, :]] = ranks
+        valid[sel, : len(rows)] = True
+        dist[sel, : len(rows)] = d_a[None, :]
+    local = np.searchsorted(sites, matrix_global)
+    local = np.clip(local, 0, n - 1)
+    found = sites[local] == matrix_global
+    missing = valid & ~found
+    if np.any(missing):
+        if strict:
+            raise ValueError(
+                "neighbor outside the provided site set; widen the ghost shell"
+            )
+        valid = valid & found
+    local[~valid] = 0
+    return local, valid, dist
+
+
+class KMCModel:
+    """Static on-lattice energetics of one site set (rank-local or global).
+
+    Parameters
+    ----------
+    lattice:
+        Global BCC lattice.
+    potential:
+        EAM potential supplying phi / f / F.
+    params:
+        Rate parameters.
+    sites:
+        Sorted global site ranks covered (``None`` = full lattice).
+
+    The model itself is stateless with respect to occupancy: engines own
+    the occupancy array and pass it in.
+    """
+
+    def __init__(
+        self,
+        lattice: BCCLattice,
+        potential: EAMPotential,
+        params: RateParameters,
+        sites: np.ndarray | None = None,
+    ) -> None:
+        self.lattice = lattice
+        self.potential = potential
+        self.params = params
+        if sites is None:
+            sites = np.arange(lattice.nsites, dtype=np.int64)
+        self.sites = np.asarray(sites, dtype=np.int64)
+        n = len(self.sites)
+        # Energy shell: per-slot static EAM constants.  Built non-strictly:
+        # rows deep in the ghost shell miss some neighbors, but energies
+        # are only ever evaluated within one hop of owned sites, where the
+        # ghost width guarantees a complete stencil.
+        self.e_matrix, self.e_valid, e_dist = build_static_matrix(
+            lattice, params.energy_cutoff, self.sites, strict=False
+        )
+        safe = np.where(self.e_valid, e_dist, potential.cutoff)
+        self.phi_slots = np.where(self.e_valid, potential.phi(safe), 0.0)
+        self.f_slots = np.where(self.e_valid, potential.fdens(safe), 0.0)
+        # First shell: the 8 exchange partners of every site.
+        first = lattice.first_shell_ranks(self.sites)
+        local = np.searchsorted(self.sites, first)
+        local = np.clip(local, 0, n - 1)
+        self.first_valid = self.sites[local] == first
+        local[~self.first_valid] = 0
+        self.first_matrix = local
+        self._influence: tuple[np.ndarray, np.ndarray] | None = None
+
+    def influence_rows(self, rows) -> np.ndarray:
+        """Rows whose event rates can depend on occupancy at ``rows``.
+
+        A vacancy's rates read occupancy within (first shell + energy
+        cutoff) of it; inverting, a change at site s can affect vacancies
+        within that radius.  Used to invalidate cached rates after a swap.
+        Built lazily (non-strict: edge-of-ghost rows simply see fewer
+        influencers, which is safe because no rates are evaluated there).
+        """
+        if self._influence is None:
+            reach = (
+                math.sqrt(3.0) / 2.0 * self.lattice.a
+                + self.params.energy_cutoff
+                + 1e-9
+            )
+            self._influence = build_static_matrix(
+                self.lattice, reach, self.sites, strict=False
+            )[:2]
+        matrix, valid = self._influence
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        out = matrix[rows][valid[rows]]
+        return np.unique(np.concatenate([out, rows]))
+
+    @property
+    def nrows(self) -> int:
+        return len(self.sites)
+
+    def perfect_occupancy(self) -> np.ndarray:
+        """All-atom occupancy array."""
+        return np.full(self.nrows, ATOM, dtype=np.int8)
+
+    # ------------------------------------------------------------------
+    # Energetics
+    # ------------------------------------------------------------------
+    def site_energy(self, rows, occ: np.ndarray) -> np.ndarray:
+        """EAM site energy of an atom at each of ``rows`` under ``occ``."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        occ_n = occ[self.e_matrix[rows]] * self.e_valid[rows]
+        pair = 0.5 * np.sum(occ_n * self.phi_slots[rows], axis=1)
+        rho = np.sum(occ_n * self.f_slots[rows], axis=1)
+        return pair + self.potential.embed(rho)
+
+    def _energy_sums(self, row: int, occ: np.ndarray) -> tuple[float, float]:
+        """(sum phi, sum f) over occupied neighbors of ``row``."""
+        occ_n = occ[self.e_matrix[row]] * self.e_valid[row]
+        return (
+            float(np.sum(occ_n * self.phi_slots[row])),
+            float(np.sum(occ_n * self.f_slots[row])),
+        )
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def vacancy_events(
+        self, vrow: int, occ: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(target rows, rates) of all possible hops of the vacancy at ``vrow``.
+
+        Requires ``occ[vrow] == VACANCY``.  Targets are the occupied
+        first-shell neighbors; rates follow Equation (4).
+        """
+        if occ[vrow] != VACANCY:
+            raise ValueError(f"row {vrow} does not hold a vacancy")
+        cand = self.first_matrix[vrow][self.first_valid[vrow]]
+        targets = cand[occ[cand] == ATOM]
+        if len(targets) == 0:
+            return targets, np.empty(0)
+        e_before = self.site_energy(targets, occ)
+        # E_after: the atom sits at vrow with its origin t vacated.  Start
+        # from the sums at vrow under current occupancy and subtract each
+        # target's own contribution (vectorized over the targets).
+        s_phi, s_f = self._energy_sums(vrow, occ)
+        slots = self.e_matrix[vrow]
+        vvalid = self.e_valid[vrow]
+        match = vvalid[None, :] & (slots[None, :] == targets[:, None])
+        dphi = np.sum(self.phi_slots[vrow][None, :] * match, axis=1)
+        df = np.sum(self.f_slots[vrow][None, :] * match, axis=1)
+        e_after = 0.5 * (s_phi - dphi) + self.potential.embed(s_f - df)
+        de = np.maximum(
+            self.params.e_m0 + 0.5 * (e_after - e_before), self.params.de_min
+        )
+        rates = self.params.nu * np.exp(-de / self.params.kt)
+        return targets, rates
+
+    def total_rate(self, vacancy_rows, occ: np.ndarray) -> float:
+        """Sum of all event rates of the given vacancies."""
+        total = 0.0
+        for v in vacancy_rows:
+            _t, rates = self.vacancy_events(int(v), occ)
+            total += float(np.sum(rates))
+        return total
+
+    def execute_swap(self, occ: np.ndarray, vrow: int, trow: int) -> None:
+        """Apply a vacancy(v) <-> atom(t) exchange in place."""
+        if occ[vrow] != VACANCY or occ[trow] != ATOM:
+            raise ValueError(
+                f"invalid swap: occ[{vrow}]={occ[vrow]}, occ[{trow}]={occ[trow]}"
+            )
+        occ[vrow] = ATOM
+        occ[trow] = VACANCY

@@ -1,0 +1,191 @@
+"""Synchronous sublattice sectoring (Shim-Amar [26]) and exchange geometry.
+
+Each subdomain is split into 8 octant sectors processed sequentially; all
+processes work on the *same* octant position concurrently, so active
+regions on different processes are separated by at least the inactive
+remainder of a subdomain and never conflict within a cycle.
+
+:class:`SectorSchedule` precomputes, per (sector, neighbor) pair, every
+row set the communication schemes need:
+
+* ``get_send`` / ``get_recv`` — the full-strip transfers of the
+  traditional two-phase exchange (Figure 8b: "Get the latest ghost sites
+  from neighbor processes"); the put phase (Figure 8c) reuses the same
+  sets mirrored.
+* ``interest`` — per neighbor, the global ranks that neighbor can see
+  (its owned sites plus its ghost shell); the on-demand scheme intersects
+  the event-affected sites against these (Figure 8d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.domain import DIRECTIONS, DomainDecomposition
+
+
+@dataclass(frozen=True)
+class SectorComm:
+    """Traditional-exchange row sets of one (sector, neighbor) pair.
+
+    Get strips span the full *rate stencil* (``width`` cells) around a
+    sector — everything event rates can read.  Put strips span only the
+    *event-reachable* shell (``event_width`` cells, one first-neighbor
+    hop) — everything a sector's events can have written.  Keeping the
+    put strips inside the event reach is what makes concurrent sectors
+    conflict-free: a wider put would ship back stale copies of sites some
+    *other* rank just modified, silently undoing its events.
+    """
+
+    neighbor: int
+    #: Rows (into the local site array) whose *current* values the
+    #: neighbor needs before it processes this sector (we own them and
+    #: they fall in the neighbor's sector rate-stencil ghost region).
+    get_send_rows: np.ndarray
+    #: Rows of our sector's rate-stencil ghost region owned by this
+    #: neighbor, refreshed in the get phase.
+    get_recv_rows: np.ndarray
+    #: Rows of our sector's event-reach ghost shell owned by this
+    #: neighbor — our possible writes, shipped back in the put phase.
+    put_send_rows: np.ndarray
+    #: Rows of our owned sites inside the neighbor's sector event-reach
+    #: shell — its possible writes to us, received in the put phase.
+    put_recv_rows: np.ndarray
+
+
+class SectorSchedule:
+    """Per-rank sector geometry and precomputed communication row sets.
+
+    Parameters
+    ----------
+    decomp:
+        Global domain decomposition.
+    rank:
+        This process.
+    sites:
+        Sorted global ranks of the local arrays (owned + ghost shell).
+    width:
+        Rate-stencil ghost width in cells; must cover the KMC interaction
+        envelope (first shell + energy cutoff).
+    event_width:
+        Event-reach width in cells (one first-neighbor hop; 1 for BCC).
+        Sectors of adjacent processes must be separated by more than
+        ``2 * event_width`` so their writes never collide.
+    """
+
+    def __init__(
+        self,
+        decomp: DomainDecomposition,
+        rank: int,
+        sites: np.ndarray,
+        width: int,
+        event_width: int = 1,
+    ) -> None:
+        lattice: BCCLattice = decomp.lattice
+        self.rank = rank
+        self.sites = sites
+        self.event_width = event_width
+        sub = decomp.subdomain(rank)
+        if any(s < 2 * width for s in sub.shape):
+            raise ValueError(
+                f"subdomain shape {sub.shape} must be >= 2*width={2 * width} "
+                "per axis for conflict-free sectoring"
+            )
+        if any(s // 2 < 2 * event_width for s in sub.shape):
+            raise ValueError(
+                f"sector separation {min(sub.shape) // 2} cells does not "
+                f"exceed twice the event reach ({event_width}); concurrent "
+                "sector writes could collide"
+            )
+        self.sectors = sub.sectors()
+        self.nsectors = len(self.sectors)
+        if self.nsectors != 8:
+            raise ValueError(
+                f"expected 8 sectors, got {self.nsectors}; subdomains must "
+                "be at least 2 cells wide per axis"
+            )
+        # Rows of each sector's owned sites (event sites).
+        self.sector_rows: list[np.ndarray] = [
+            _rows_in(sites, sec.owned_site_ranks(lattice)) for sec in self.sectors
+        ]
+        # Distinct neighbor ranks (small grids alias directions).
+        neighbor_ranks = sorted(
+            {
+                decomp.neighbor_rank(rank, d)
+                for d in DIRECTIONS
+                if decomp.neighbor_rank(rank, d) != rank
+            }
+        )
+        self.neighbors = neighbor_ranks
+        # Interest sets: what each neighbor can see (owned + ghost shell).
+        self.interest: dict[int, np.ndarray] = {}
+        for n in neighbor_ranks:
+            nsub = decomp.subdomain(n)
+            owned_n = nsub.owned_site_ranks(lattice)
+            ghost_n = nsub.all_ghost_site_ranks(lattice, width)
+            self.interest[n] = np.union1d(owned_n, ghost_n)
+        # Traditional per-sector strip sets.
+        my_owned = sub.owned_site_ranks(lattice)
+        owned_by = {
+            n: decomp.subdomain(n).owned_site_ranks(lattice) for n in neighbor_ranks
+        }
+        self.sector_comm: list[list[SectorComm]] = []
+        for s, sector in enumerate(self.sectors):
+            my_rate_ghost = sector.all_ghost_site_ranks(lattice, width)
+            my_event_ghost = sector.all_ghost_site_ranks(lattice, event_width)
+            per_neighbor = []
+            for n in neighbor_ranks:
+                n_sector = decomp.subdomain(n).sectors()[s]
+                n_rate_ghost = n_sector.all_ghost_site_ranks(lattice, width)
+                n_event_ghost = n_sector.all_ghost_site_ranks(lattice, event_width)
+                per_neighbor.append(
+                    SectorComm(
+                        neighbor=n,
+                        get_send_rows=_rows_in(
+                            sites, np.intersect1d(n_rate_ghost, my_owned)
+                        ),
+                        get_recv_rows=_rows_in(
+                            sites, np.intersect1d(my_rate_ghost, owned_by[n])
+                        ),
+                        put_send_rows=_rows_in(
+                            sites, np.intersect1d(my_event_ghost, owned_by[n])
+                        ),
+                        put_recv_rows=_rows_in(
+                            sites, np.intersect1d(n_event_ghost, my_owned)
+                        ),
+                    )
+                )
+            self.sector_comm.append(per_neighbor)
+
+    def interest_rows(self, neighbor: int, dirty_rows: np.ndarray) -> np.ndarray:
+        """Subset of ``dirty_rows`` the given neighbor can see."""
+        dirty_ranks = self.sites[dirty_rows]
+        mask = np.isin(dirty_ranks, self.interest[neighbor], assume_unique=False)
+        return dirty_rows[mask]
+
+    def traditional_strip_sites(self) -> int:
+        """Total strip sites moved per full cycle by the traditional scheme
+        (get + put over all sectors and neighbors) — a planning figure for
+        the experiments."""
+        total = 0
+        for per_neighbor in self.sector_comm:
+            for sc in per_neighbor:
+                total += len(sc.get_send_rows) + len(sc.get_recv_rows)
+                total += len(sc.put_send_rows) + len(sc.put_recv_rows)
+        return total
+
+
+def _rows_in(sites: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """Rows of ``ranks`` within sorted ``sites``; all must be present."""
+    ranks = np.asarray(ranks, dtype=np.int64)
+    if len(ranks) == 0:
+        return np.empty(0, dtype=np.int64)
+    rows = np.searchsorted(sites, ranks)
+    if np.any(rows >= len(sites)) or np.any(
+        sites[np.minimum(rows, len(sites) - 1)] != ranks
+    ):
+        raise ValueError("requested ranks missing from the local site set")
+    return rows

@@ -1,0 +1,19 @@
+"""Body-centered-cubic lattice substrate.
+
+Provides the BCC geometry used by both the MD and KMC engines: site
+indexing (the "rank order" of the paper's lattice neighbor list), periodic
+boxes, neighbor-shell offset tables, and the 3-D domain decomposition used
+to scale across (simulated) processes.
+"""
+
+from repro.lattice.bcc import BCCLattice, NeighborOffsets
+from repro.lattice.box import Box
+from repro.lattice.domain import DomainDecomposition, Subdomain
+
+__all__ = [
+    "BCCLattice",
+    "NeighborOffsets",
+    "Box",
+    "DomainDecomposition",
+    "Subdomain",
+]

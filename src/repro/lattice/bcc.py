@@ -1,0 +1,322 @@
+"""Body-centered cubic lattice geometry and site indexing.
+
+A BCC crystal is represented as a simple-cubic grid of *conventional cells*
+with a two-site basis: basis 0 at the cell corner, basis 1 at the cell
+center (Figure 1 of the paper).  Site coordinates are
+
+    pos(b, i, j, k) = (i + b/2, j + b/2, k + b/2) * a
+
+with the lattice constant ``a`` and periodic images along all axes.
+
+Sites carry a dense integer *rank* that orders them by spatial location —
+the storage order of the paper's lattice neighbor list (Figure 2).  The
+rank layout interleaves the two basis sites of a cell so spatially adjacent
+sites stay adjacent in memory:
+
+    rank(b, i, j, k) = ((i * ny + j) * nz + k) * 2 + b
+
+Because every site of a given basis sees the *same* pattern of neighbors,
+the neighbor ranks of any site can be computed from a static offset table
+(:class:`NeighborOffsets`) — no per-atom neighbor storage is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+import math
+
+import numpy as np
+
+from repro.constants import FE_LATTICE_CONSTANT
+
+#: Cell-offset patterns of the first BCC neighbor shell (8 sites at
+#: distance sqrt(3)/2 * a).  From a basis-0 site the 8 first neighbors are
+#: basis-1 sites of this cell and the cells at -1 along each axis subset.
+_FIRST_SHELL_FROM_CORNER = [
+    (1, di, dj, dk) for di in (0, -1) for dj in (0, -1) for dk in (0, -1)
+]
+#: From a basis-1 (center) site the 8 first neighbors are basis-0 sites of
+#: this cell and the cells at +1 along each axis subset.
+_FIRST_SHELL_FROM_CENTER = [
+    (0, di, dj, dk) for di in (0, 1) for dj in (0, 1) for dk in (0, 1)
+]
+
+#: Second shell: 6 same-basis sites at distance a.
+_SECOND_SHELL = [
+    (0, 1, 0, 0),
+    (0, -1, 0, 0),
+    (0, 0, 1, 0),
+    (0, 0, -1, 0),
+    (0, 0, 0, 1),
+    (0, 0, 0, -1),
+]
+
+
+@dataclass(frozen=True)
+class NeighborOffsets:
+    """Static per-basis neighbor offset tables for a cutoff radius.
+
+    ``corner`` and ``center`` are integer arrays of shape ``(m, 4)`` whose
+    rows are ``(db, di, dj, dk)``: the *relative* basis flip and cell
+    displacement from a central site of basis 0 / basis 1 respectively to
+    each neighbor within the cutoff.  ``distances`` hold the corresponding
+    geometric distances in units of the lattice constant.
+    """
+
+    corner: np.ndarray
+    center: np.ndarray
+    corner_distances: np.ndarray
+    center_distances: np.ndarray
+    cutoff: float
+
+    def for_basis(self, basis: int) -> np.ndarray:
+        """Offset rows for a central site of the given basis (0 or 1)."""
+        if basis == 0:
+            return self.corner
+        if basis == 1:
+            return self.center
+        raise ValueError(f"basis must be 0 or 1, got {basis}")
+
+    @property
+    def max_count(self) -> int:
+        """Largest neighbor count over the two bases."""
+        return max(len(self.corner), len(self.center))
+
+
+class BCCLattice:
+    """A periodic BCC lattice of ``nx * ny * nz`` conventional cells.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Number of conventional cells along each axis (>= 1).
+    a:
+        Lattice constant in angstrom.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        nz: int,
+        a: float = FE_LATTICE_CONSTANT,
+    ) -> None:
+        for name, n in (("nx", nx), ("ny", ny), ("nz", nz)):
+            if n < 1:
+                raise ValueError(f"{name} must be >= 1, got {n}")
+        if a <= 0:
+            raise ValueError(f"lattice constant must be positive, got {a}")
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.nz = int(nz)
+        self.a = float(a)
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def ncells(self) -> int:
+        """Number of conventional cells."""
+        return self.nx * self.ny * self.nz
+
+    @property
+    def nsites(self) -> int:
+        """Number of lattice sites (2 per conventional cell)."""
+        return 2 * self.ncells
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Periodic box lengths in angstrom, shape (3,)."""
+        return np.array([self.nx, self.ny, self.nz], dtype=float) * self.a
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BCCLattice(nx={self.nx}, ny={self.ny}, nz={self.nz}, "
+            f"a={self.a}, nsites={self.nsites})"
+        )
+
+    # ------------------------------------------------------------------
+    # Rank <-> (basis, cell) <-> coordinates
+    # ------------------------------------------------------------------
+    def rank_of(self, b, i, j, k):
+        """Dense site rank for basis ``b`` and cell ``(i, j, k)``.
+
+        Cell indices are wrapped periodically, so any integers are valid.
+        Accepts scalars or equal-shaped integer arrays.
+        """
+        b = np.asarray(b)
+        i = np.mod(np.asarray(i), self.nx)
+        j = np.mod(np.asarray(j), self.ny)
+        k = np.mod(np.asarray(k), self.nz)
+        if np.any((b != 0) & (b != 1)):
+            raise ValueError("basis index must be 0 or 1")
+        return ((i * self.ny + j) * self.nz + k) * 2 + b
+
+    def coords_of(self, rank):
+        """Inverse of :meth:`rank_of`: ``(b, i, j, k)`` for each rank."""
+        rank = np.asarray(rank)
+        if np.any(rank < 0) or np.any(rank >= self.nsites):
+            raise ValueError("site rank out of range")
+        b = rank % 2
+        cell = rank // 2
+        k = cell % self.nz
+        cell //= self.nz
+        j = cell % self.ny
+        i = cell // self.ny
+        return b, i, j, k
+
+    def position_of(self, rank) -> np.ndarray:
+        """Cartesian positions (angstrom) of sites; shape ``rank.shape + (3,)``."""
+        b, i, j, k = self.coords_of(rank)
+        half = 0.5 * np.asarray(b, dtype=float)
+        return np.stack(
+            [
+                (np.asarray(i, dtype=float) + half) * self.a,
+                (np.asarray(j, dtype=float) + half) * self.a,
+                (np.asarray(k, dtype=float) + half) * self.a,
+            ],
+            axis=-1,
+        )
+
+    def all_positions(self) -> np.ndarray:
+        """Positions of every site in rank order, shape ``(nsites, 3)``."""
+        return self.position_of(np.arange(self.nsites))
+
+    def nearest_site(self, pos: np.ndarray):
+        """Rank of the lattice site nearest to each Cartesian position.
+
+        This is the operation the paper performs to link a run-away atom to
+        its nearest lattice point (Figure 3).  ``pos`` has shape ``(..., 3)``.
+        """
+        pos = np.asarray(pos, dtype=float)
+        scaled = pos / self.a
+        # Candidate corner site (round to integer grid) and candidate center
+        # site (round to half-integer grid); pick the closer of the two.
+        corner_cell = np.rint(scaled).astype(int)
+        center_cell = np.floor(scaled).astype(int)
+        d_corner = np.linalg.norm(scaled - corner_cell, axis=-1)
+        d_center = np.linalg.norm(scaled - (center_cell + 0.5), axis=-1)
+        use_center = d_center < d_corner
+        b = np.where(use_center, 1, 0)
+        cell = np.where(use_center[..., None], center_cell, corner_cell)
+        return self.rank_of(b, cell[..., 0], cell[..., 1], cell[..., 2])
+
+    # ------------------------------------------------------------------
+    # Neighbor shells and static offset tables
+    # ------------------------------------------------------------------
+    def first_shell_ranks(self, rank) -> np.ndarray:
+        """Ranks of the 8 first-shell neighbors of each site.
+
+        These are the candidate vacancy-exchange partners of the KMC model
+        ("eight possible events for a vacancy").  Output shape is
+        ``rank.shape + (8,)``.
+        """
+        b, i, j, k = self.coords_of(np.asarray(rank))
+        out_shape = np.shape(rank) + (8,)
+        result = np.empty(out_shape, dtype=np.int64)
+        corner = np.asarray(_FIRST_SHELL_FROM_CORNER)
+        center = np.asarray(_FIRST_SHELL_FROM_CENTER)
+        for idx in range(8):
+            use = np.where(np.asarray(b) == 0, 0, 1)
+            off_b = np.where(use == 0, corner[idx, 0], center[idx, 0])
+            off_i = np.where(use == 0, corner[idx, 1], center[idx, 1])
+            off_j = np.where(use == 0, corner[idx, 2], center[idx, 2])
+            off_k = np.where(use == 0, corner[idx, 3], center[idx, 3])
+            result[..., idx] = self.rank_of(off_b, i + off_i, j + off_j, k + off_k)
+        return result
+
+    def second_shell_ranks(self, rank) -> np.ndarray:
+        """Ranks of the 6 second-shell (same basis) neighbors of each site."""
+        b, i, j, k = self.coords_of(np.asarray(rank))
+        result = np.empty(np.shape(rank) + (6,), dtype=np.int64)
+        for idx, (_db, di, dj, dk) in enumerate(_SECOND_SHELL):
+            result[..., idx] = self.rank_of(b, i + di, j + dj, k + dk)
+        return result
+
+    def offsets_within(self, cutoff: float) -> NeighborOffsets:
+        """Static neighbor offset table for all sites within ``cutoff`` (A).
+
+        This is the heart of the lattice neighbor list: because the crystal
+        is periodic and perfect, the set of ``(db, di, dj, dk)`` offsets is
+        identical for every central site of a given basis, so the neighbor
+        *indexes* of any atom follow from arithmetic rather than storage.
+        """
+        if cutoff <= 0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        return _offsets_within_cached(round(cutoff / self.a, 12))
+
+    def neighbor_ranks_within(self, rank, cutoff: float) -> np.ndarray:
+        """Neighbor ranks within ``cutoff`` for scalar site ``rank``."""
+        offsets = self.offsets_within(cutoff)
+        b, i, j, k = self.coords_of(int(rank))
+        rows = offsets.for_basis(int(b))
+        nb = np.where(rows[:, 0] == 0, b, 1 - b)
+        return self.rank_of(nb, i + rows[:, 1], j + rows[:, 2], k + rows[:, 3])
+
+    def shell_distances(self, nshells: int = 4) -> list[float]:
+        """Geometric distances (A) of the first ``nshells`` neighbor shells."""
+        dists = sorted(
+            {
+                round(d, 10)
+                for d in _candidate_distances(reach=4)
+                if d > 0
+            }
+        )
+        return [d * self.a for d in dists[:nshells]]
+
+
+def _candidate_distances(reach: int):
+    """All site-to-site distances (units of a) within a +-reach cell block."""
+    for db in (0, 1):
+        for di in range(-reach, reach + 1):
+            for dj in range(-reach, reach + 1):
+                for dk in range(-reach, reach + 1):
+                    yield math.sqrt(
+                        (di + 0.5 * db) ** 2
+                        + (dj + 0.5 * db) ** 2
+                        + (dk + 0.5 * db) ** 2
+                    )
+
+
+@lru_cache(maxsize=32)
+def _offsets_within_cached(cutoff_in_a: float) -> NeighborOffsets:
+    """Compute per-basis offset tables for a cutoff given in units of ``a``."""
+    reach = int(math.ceil(cutoff_in_a)) + 1
+    corner_rows: list[tuple[int, int, int, int]] = []
+    corner_d: list[float] = []
+    center_rows: list[tuple[int, int, int, int]] = []
+    center_d: list[float] = []
+    for db in (0, 1):
+        for di in range(-reach, reach + 1):
+            for dj in range(-reach, reach + 1):
+                for dk in range(-reach, reach + 1):
+                    # Displacement from a basis-0 center to (db, d) site:
+                    # (d + db/2) in units of a.
+                    d0 = math.sqrt(
+                        (di + 0.5 * db) ** 2
+                        + (dj + 0.5 * db) ** 2
+                        + (dk + 0.5 * db) ** 2
+                    )
+                    if 0 < d0 <= cutoff_in_a + 1e-12:
+                        corner_rows.append((db, di, dj, dk))
+                        corner_d.append(d0)
+                    # Displacement from a basis-1 center to a site with
+                    # basis flip db (target basis = 1 - db if db==1 else 1):
+                    # target basis b2 = 1 - db_flag where db_flag means flip.
+                    # Using relative convention: db=0 same basis, db=1 flip.
+                    d1 = math.sqrt(
+                        (di - 0.5 * db) ** 2
+                        + (dj - 0.5 * db) ** 2
+                        + (dk - 0.5 * db) ** 2
+                    )
+                    if 0 < d1 <= cutoff_in_a + 1e-12:
+                        center_rows.append((db, di, dj, dk))
+                        center_d.append(d1)
+    return NeighborOffsets(
+        corner=np.asarray(corner_rows, dtype=np.int64).reshape(-1, 4),
+        center=np.asarray(center_rows, dtype=np.int64).reshape(-1, 4),
+        corner_distances=np.asarray(corner_d, dtype=float),
+        center_distances=np.asarray(center_d, dtype=float),
+        cutoff=cutoff_in_a,
+    )

@@ -1,0 +1,340 @@
+"""3-D domain decomposition of the BCC cell grid.
+
+Both MD and KMC use "standard domain decomposition to equally partition the
+simulation box" (paper §2): the grid of conventional cells is split over a
+Cartesian grid of processes, each process owning one box-shaped subdomain
+plus a shell of *ghost* cells mirrored from its neighbors.
+
+The unit of decomposition is the conventional cell (2 sites), so sites are
+never split between processes and the paper's static site indexing works
+unchanged inside each subdomain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.lattice.bcc import BCCLattice
+
+#: The 26 nonzero neighbor directions of a 3-D Cartesian decomposition.
+DIRECTIONS: tuple[tuple[int, int, int], ...] = tuple(
+    d for d in product((-1, 0, 1), repeat=3) if d != (0, 0, 0)
+)
+
+
+def split_range(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``parts`` contiguous near-equal pieces.
+
+    The first ``n % parts`` pieces get one extra element, matching the
+    usual block distribution of MPI codes.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if n < parts:
+        raise ValueError(f"cannot split {n} cells into {parts} parts")
+    base, extra = divmod(n, parts)
+    bounds = []
+    lo = 0
+    for p in range(parts):
+        hi = lo + base + (1 if p < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def choose_grid(nprocs: int, cells: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Pick a process grid ``(px, py, pz)`` with ``px*py*pz == nprocs``.
+
+    Chooses the factorization minimizing subdomain surface-to-volume (the
+    same heuristic MPI_Dims_create applies), subject to each axis having at
+    least one cell per process.
+    """
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    best = None
+    best_score = None
+    for px in range(1, nprocs + 1):
+        if nprocs % px:
+            continue
+        rest = nprocs // px
+        for py in range(1, rest + 1):
+            if rest % py:
+                continue
+            pz = rest // py
+            if px > cells[0] or py > cells[1] or pz > cells[2]:
+                continue
+            # Surface area of a subdomain, in cell units.
+            sx = cells[0] / px
+            sy = cells[1] / py
+            sz = cells[2] / pz
+            score = sx * sy + sy * sz + sx * sz
+            if best_score is None or score < best_score:
+                best_score = score
+                best = (px, py, pz)
+    if best is None:
+        raise ValueError(
+            f"no valid process grid for nprocs={nprocs} over cells={cells}"
+        )
+    return best
+
+
+def _cells_to_ranks(lattice: BCCLattice, ci, cj, ck) -> np.ndarray:
+    """Site ranks (both basis sites) of the given cells, flattened."""
+    ci = np.asarray(ci).ravel()
+    cj = np.asarray(cj).ravel()
+    ck = np.asarray(ck).ravel()
+    r0 = lattice.rank_of(np.zeros_like(ci), ci, cj, ck)
+    r1 = lattice.rank_of(np.ones_like(ci), ci, cj, ck)
+    return np.concatenate([r0, r1])
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One process's share of the cell grid.
+
+    ``cell_lo``/``cell_hi`` are half-open cell ranges along each axis in
+    *global* (unwrapped) cell coordinates.
+    """
+
+    proc: tuple[int, int, int]
+    cell_lo: tuple[int, int, int]
+    cell_hi: tuple[int, int, int]
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Subdomain extent in cells along each axis."""
+        return tuple(h - l for l, h in zip(self.cell_lo, self.cell_hi))
+
+    @property
+    def ncells(self) -> int:
+        sx, sy, sz = self.shape
+        return sx * sy * sz
+
+    @property
+    def nsites(self) -> int:
+        return 2 * self.ncells
+
+    def contains_cell(self, i: int, j: int, k: int) -> bool:
+        """Whether global cell (i, j, k) is owned by this subdomain."""
+        return all(
+            l <= c < h for c, l, h in zip((i, j, k), self.cell_lo, self.cell_hi)
+        )
+
+    def _axis_range(self, axis: int, d: int, width: int, kind: str) -> range:
+        lo, hi = self.cell_lo[axis], self.cell_hi[axis]
+        if kind == "send":
+            if d == 0:
+                return range(lo, hi)
+            if d > 0:
+                return range(hi - width, hi)
+            return range(lo, lo + width)
+        # kind == "recv": ghost cells just outside the boundary.
+        if d == 0:
+            return range(lo, hi)
+        if d > 0:
+            return range(hi, hi + width)
+        return range(lo - width, lo)
+
+    def _block(self, direction, width: int, kind: str):
+        rx = self._axis_range(0, direction[0], width, kind)
+        ry = self._axis_range(1, direction[1], width, kind)
+        rz = self._axis_range(2, direction[2], width, kind)
+        return np.meshgrid(list(rx), list(ry), list(rz), indexing="ij")
+
+    def send_cells(self, direction, width: int):
+        """Owned cells within ``width`` of the face(s) toward ``direction``.
+
+        These are the cells whose sites must be shipped to the neighbor at
+        ``direction`` so that neighbor's ghost shell is current.
+        """
+        self._check_width(width)
+        return self._block(direction, width, "send")
+
+    def ghost_cells(self, direction, width: int):
+        """Ghost cells of this subdomain lying toward ``direction``.
+
+        Returned in *global unwrapped* coordinates (may be < 0 or >= grid
+        size); callers wrap via the lattice's periodic indexing.
+        """
+        self._check_width(width)
+        return self._block(direction, width, "recv")
+
+    def _check_width(self, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"ghost width must be >= 1, got {width}")
+        if any(width > s for s in self.shape):
+            raise ValueError(
+                f"ghost width {width} exceeds subdomain shape {self.shape}"
+            )
+
+    def owned_cell_arrays(self):
+        """Meshgrid arrays of all owned cells."""
+        return np.meshgrid(
+            np.arange(self.cell_lo[0], self.cell_hi[0]),
+            np.arange(self.cell_lo[1], self.cell_hi[1]),
+            np.arange(self.cell_lo[2], self.cell_hi[2]),
+            indexing="ij",
+        )
+
+    def owned_site_ranks(self, lattice: BCCLattice) -> np.ndarray:
+        """Global site ranks of all sites owned by this subdomain."""
+        ci, cj, ck = self.owned_cell_arrays()
+        return np.sort(_cells_to_ranks(lattice, ci, cj, ck))
+
+    def send_site_ranks(self, lattice: BCCLattice, direction, width: int) -> np.ndarray:
+        """Site ranks to pack for the neighbor at ``direction``."""
+        ci, cj, ck = self.send_cells(direction, width)
+        return np.sort(_cells_to_ranks(lattice, ci, cj, ck))
+
+    def ghost_site_ranks(self, lattice: BCCLattice, direction, width: int) -> np.ndarray:
+        """Site ranks of this subdomain's ghost shell toward ``direction``."""
+        ci, cj, ck = self.ghost_cells(direction, width)
+        return np.sort(_cells_to_ranks(lattice, ci, cj, ck))
+
+    def all_ghost_site_ranks(self, lattice: BCCLattice, width: int) -> np.ndarray:
+        """Unique site ranks of the full ghost shell (all 26 directions).
+
+        Computed as one vectorized sweep over the dilated bounding box
+        minus the owned interior (equivalent to unioning the 26
+        directional blocks, but one meshgrid instead of 26).
+        """
+        self._check_width(width)
+        ci, cj, ck = np.meshgrid(
+            np.arange(self.cell_lo[0] - width, self.cell_hi[0] + width),
+            np.arange(self.cell_lo[1] - width, self.cell_hi[1] + width),
+            np.arange(self.cell_lo[2] - width, self.cell_hi[2] + width),
+            indexing="ij",
+        )
+        interior = (
+            (ci >= self.cell_lo[0])
+            & (ci < self.cell_hi[0])
+            & (cj >= self.cell_lo[1])
+            & (cj < self.cell_hi[1])
+            & (ck >= self.cell_lo[2])
+            & (ck < self.cell_hi[2])
+        )
+        shell = ~interior
+        return np.unique(
+            _cells_to_ranks(lattice, ci[shell], cj[shell], ck[shell])
+        )
+
+    def sectors(self) -> list["Subdomain"]:
+        """Split into the 8 Shim-Amar sectors (2 x 2 x 2 halves).
+
+        KMC processes sectors sequentially so that concurrently-active
+        regions on different processes are never adjacent (paper Figure 7).
+        Axes with only one cell cannot be halved; such axes keep a single
+        sector slab, so degenerate subdomains yield fewer than 8 sectors.
+        """
+        axis_splits = []
+        for axis in range(3):
+            lo, hi = self.cell_lo[axis], self.cell_hi[axis]
+            if hi - lo >= 2:
+                mid = (lo + hi) // 2
+                axis_splits.append([(lo, mid), (mid, hi)])
+            else:
+                axis_splits.append([(lo, hi)])
+        out = []
+        for (xl, xh), (yl, yh), (zl, zh) in product(*axis_splits):
+            out.append(
+                Subdomain(
+                    proc=self.proc,
+                    cell_lo=(xl, yl, zl),
+                    cell_hi=(xh, yh, zh),
+                )
+            )
+        return out
+
+
+class DomainDecomposition:
+    """Cartesian decomposition of a :class:`BCCLattice` over processes.
+
+    Parameters
+    ----------
+    lattice:
+        The global lattice.
+    grid:
+        Process grid ``(px, py, pz)``; use :func:`choose_grid` to pick one.
+    """
+
+    def __init__(self, lattice: BCCLattice, grid: tuple[int, int, int]) -> None:
+        px, py, pz = grid
+        if px < 1 or py < 1 or pz < 1:
+            raise ValueError(f"process grid must be positive, got {grid}")
+        self.lattice = lattice
+        self.grid = (int(px), int(py), int(pz))
+        self._bounds_x = split_range(lattice.nx, px)
+        self._bounds_y = split_range(lattice.ny, py)
+        self._bounds_z = split_range(lattice.nz, pz)
+
+    @property
+    def nprocs(self) -> int:
+        px, py, pz = self.grid
+        return px * py * pz
+
+    def proc_coords(self, rank: int) -> tuple[int, int, int]:
+        """Process grid coordinates of linear process ``rank`` (row-major)."""
+        px, py, pz = self.grid
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"process rank {rank} out of range")
+        pz_i = rank % pz
+        rest = rank // pz
+        py_i = rest % py
+        px_i = rest // py
+        return (px_i, py_i, pz_i)
+
+    def proc_rank(self, coords) -> int:
+        """Inverse of :meth:`proc_coords`, with periodic wrapping."""
+        px, py, pz = self.grid
+        cx, cy, cz = (coords[0] % px, coords[1] % py, coords[2] % pz)
+        return (cx * py + cy) * pz + cz
+
+    def subdomain(self, rank: int) -> Subdomain:
+        """The :class:`Subdomain` owned by linear process ``rank``."""
+        cx, cy, cz = self.proc_coords(rank)
+        (xlo, xhi) = self._bounds_x[cx]
+        (ylo, yhi) = self._bounds_y[cy]
+        (zlo, zhi) = self._bounds_z[cz]
+        return Subdomain(
+            proc=(cx, cy, cz), cell_lo=(xlo, ylo, zlo), cell_hi=(xhi, yhi, zhi)
+        )
+
+    def subdomains(self) -> list[Subdomain]:
+        """All subdomains in process-rank order."""
+        return [self.subdomain(r) for r in range(self.nprocs)]
+
+    def owner_of_cell(self, i: int, j: int, k: int) -> int:
+        """Linear rank of the process owning global cell ``(i, j, k)``."""
+        i %= self.lattice.nx
+        j %= self.lattice.ny
+        k %= self.lattice.nz
+        cx = _owner_index(self._bounds_x, i)
+        cy = _owner_index(self._bounds_y, j)
+        cz = _owner_index(self._bounds_z, k)
+        return self.proc_rank((cx, cy, cz))
+
+    def owner_of_site(self, site_rank: int) -> int:
+        """Linear rank of the process owning a global site."""
+        _b, i, j, k = self.lattice.coords_of(site_rank)
+        return self.owner_of_cell(int(i), int(j), int(k))
+
+    def neighbor_rank(self, rank: int, direction) -> int:
+        """Linear rank of the neighbor of ``rank`` toward ``direction``."""
+        cx, cy, cz = self.proc_coords(rank)
+        return self.proc_rank((cx + direction[0], cy + direction[1], cz + direction[2]))
+
+    def ghost_width_cells(self, cutoff: float) -> int:
+        """Ghost shell width in cells needed to cover ``cutoff`` angstrom."""
+        import math
+
+        return max(1, int(math.ceil(cutoff / self.lattice.a)))
+
+
+def _owner_index(bounds: list[tuple[int, int]], c: int) -> int:
+    for idx, (lo, hi) in enumerate(bounds):
+        if lo <= c < hi:
+            return idx
+    raise ValueError(f"cell coordinate {c} outside decomposition bounds")

@@ -1,0 +1,46 @@
+"""Neighbor-finding structures for short-range MD.
+
+The paper's contribution (§2.1.1) plus the two mainstream baselines it
+compares against:
+
+========================  =========================  =======================
+structure                 used by                    cost profile
+========================  =========================  =======================
+lattice neighbor list     this paper (Crystal MD)    no per-atom neighbor
+                                                     storage; static index
+                                                     arithmetic; linked
+                                                     lists for run-aways
+Verlet neighbor list      LAMMPS                     O(neighbors) memory per
+                                                     atom; rebuilt when
+                                                     displacements exceed
+                                                     half the skin
+linked cells              IMD / ls1-MarDyn / CoMD    cell occupancy rebuilt
+                                                     every step
+========================  =========================  =======================
+
+All three produce identical interaction pair sets on identical
+configurations (asserted by the test suite).
+"""
+
+from repro.md.neighbors.lattice_list import LatticeNeighborList, RunawayAtom
+from repro.md.neighbors.verlet_list import VerletNeighborList
+from repro.md.neighbors.linked_cell import LinkedCellList
+from repro.md.neighbors.memory import (
+    MemoryFootprint,
+    lattice_list_footprint,
+    verlet_list_footprint,
+    linked_cell_footprint,
+    max_atoms_in_memory,
+)
+
+__all__ = [
+    "LatticeNeighborList",
+    "RunawayAtom",
+    "VerletNeighborList",
+    "LinkedCellList",
+    "MemoryFootprint",
+    "lattice_list_footprint",
+    "verlet_list_footprint",
+    "linked_cell_footprint",
+    "max_atoms_in_memory",
+]

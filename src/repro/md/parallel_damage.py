@@ -1,0 +1,480 @@
+"""Parallel MD with run-away atoms: the full §2.1.1 exchange protocol.
+
+:class:`~repro.md.engine.ParallelMD` executes the paper's parallel
+structure on perfect lattices; this module adds the damage machinery so
+cascades run distributed:
+
+* vacancies propagate through the static ghost exchange ("the lattice
+  points (either an atom or a vacancy) in the ghost region is packed
+  (unpacked) and sent (received) according to the indexes in the array");
+* run-away atoms migrate between ranks and appear as ghosts — "For the
+  run-away atoms, if they move into the subdomain or the ghost region of
+  the neighbor processes, we pack their information and send it to the
+  corresponding neighbor processes."
+
+Per step the protocol is:
+
+1. half-kick + drift owned atoms and owned run-aways;
+2. every ``runaway_check_interval`` steps: escape/capture/relink
+   bookkeeping, then *migration* — a run-away whose nearest lattice point
+   is owned elsewhere is packed and shipped to its new owner;
+3. static ghost exchange of positions + occupancy (IDs);
+4. run-away ghost broadcast: copies of owned run-aways hosted in a
+   neighbor's interest region travel with their positions;
+5. density pass (lattice stars + run-away contributions), then the
+   second exchange phase ships densities — for lattice sites through the
+   static pattern, for run-aways with refreshed ghost copies;
+6. force pass, second half-kick.
+
+The result is bit-compatible with the serial engine (asserted by tests):
+same trajectories, same vacancy inventory, same run-away population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FM2A
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.box import Box
+from repro.lattice.domain import DIRECTIONS, DomainDecomposition, choose_grid
+from repro.md.engine import MDConfig
+from repro.md.forces import star_density, star_forces
+from repro.md.ghost import GhostExchanger
+from repro.md.neighbors.lattice_list import LatticeNeighborList, RunawayAtom
+from repro.md.state import AtomState
+from repro.md.thermostat import maxwell_boltzmann_velocities
+from repro.potential.eam import EAMPotential
+from repro.potential.fe import make_fe_potential
+from repro.runtime.simmpi import World
+
+TAG_X = 0
+TAG_RHO = 100
+TAG_RUNAWAY_MIGRATE = 300
+TAG_RUNAWAY_GHOST_X = 400
+TAG_RUNAWAY_GHOST_RHO = 500
+
+
+@dataclass
+class ParallelDamageResult:
+    """Global outcome of a distributed damage run."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    vacancy_ranks: np.ndarray
+    runaway_ids: np.ndarray
+    runaway_positions: np.ndarray
+    comm_stats: dict
+    nranks: int
+
+
+def _pack_runaways(atoms: list[RunawayAtom], sites: np.ndarray):
+    """Wire format: (ids, host global ranks, x, v) arrays."""
+    return (
+        np.array([a.id for a in atoms], dtype=np.int64),
+        sites[[a.host for a in atoms]].astype(np.int64),
+        np.array([a.x for a in atoms]).reshape(-1, 3),
+        np.array([a.v for a in atoms]).reshape(-1, 3),
+    )
+
+
+class ParallelDamageMD:
+    """Domain-decomposed MD with vacancies and run-away atoms.
+
+    Parameters mirror :class:`~repro.md.engine.ParallelMD`, plus the
+    damage knobs of the serial engine.
+    """
+
+    def __init__(
+        self,
+        lattice: BCCLattice,
+        potential: EAMPotential | None = None,
+        config: MDConfig | None = None,
+        grid: tuple[int, int, int] | None = None,
+        nranks: int | None = None,
+        network=None,
+    ) -> None:
+        self.lattice = lattice
+        self.config = config or MDConfig()
+        self.potential = potential or make_fe_potential(
+            layout=self.config.table_layout
+        )
+        if grid is None:
+            if nranks is None:
+                raise ValueError("provide either grid or nranks")
+            grid = choose_grid(nranks, (lattice.nx, lattice.ny, lattice.nz))
+        self.decomp = DomainDecomposition(lattice, grid)
+        self.box = Box.for_lattice(lattice)
+        self.network = network
+
+    @property
+    def nranks(self) -> int:
+        return self.decomp.nprocs
+
+    def _initial_velocities(self) -> np.ndarray:
+        state = AtomState.perfect(self.lattice)
+        rng = np.random.default_rng(self.config.seed)
+        maxwell_boltzmann_velocities(state, self.config.temperature, rng)
+        return state.v
+
+    def run(
+        self,
+        nsteps: int,
+        dt: float | None = None,
+        displacement_threshold: float = 1.2,
+        runaway_check_interval: int = 5,
+        pka: tuple[int, np.ndarray] | None = None,
+    ) -> ParallelDamageResult:
+        """Run a distributed damage simulation.
+
+        ``pka`` optionally injects a primary knock-on atom: a (global
+        site rank, velocity vector) pair applied after thermalization.
+        """
+        if nsteps < 1:
+            raise ValueError(f"nsteps must be >= 1, got {nsteps}")
+        dt = dt if dt is not None else self.config.dt
+        v_global = self._initial_velocities()
+        if pka is not None:
+            v_global = v_global.copy()
+            v_global[int(pka[0])] = np.asarray(pka[1], dtype=float)
+        lattice = self.lattice
+        pot = self.potential
+        box = self.box
+        decomp = self.decomp
+        # One extra ghost cell beyond the MD cutoff: a run-away atom sits
+        # up to half a first-shell from its host, so its interaction
+        # sphere (and its ghost-copy relevance) reaches that much past
+        # the lattice stencil.
+        width = decomp.ghost_width_cells(pot.cutoff) + 1
+
+        def rank_main(comm):
+            sub = decomp.subdomain(comm.rank)
+            owned = sub.owned_site_ranks(lattice)
+            ghosts = sub.all_ghost_site_ranks(lattice, width)
+            sites = np.union1d(owned, ghosts)
+            central_rows = np.searchsorted(sites, owned)
+            own_mask = np.zeros(len(sites), dtype=bool)
+            own_mask[central_rows] = True
+            state = AtomState.for_sites(lattice, sites)
+            state.v[:] = v_global[sites]
+            nbl = LatticeNeighborList(
+                lattice, pot.cutoff, sites=sites, centrals=central_rows
+            )
+            ex = GhostExchanger(decomp, comm.rank, sites, width)
+            # Ranks my ghost region could host run-aways for / from.
+            neighbor_ranks = sorted(
+                {decomp.neighbor_rank(comm.rank, d) for d in DIRECTIONS}
+                - {comm.rank}
+            )
+            interest: dict[int, set] = {}
+            for n in neighbor_ranks:
+                nsub = decomp.subdomain(n)
+                interest[n] = set(
+                    np.union1d(
+                        nsub.owned_site_ranks(lattice),
+                        nsub.all_ghost_site_ranks(lattice, width),
+                    ).tolist()
+                )
+            fm = FM2A / state.mass
+            forces = np.zeros((len(sites), 3))
+            ids_f = np.empty(len(sites), dtype=float)
+
+            def owned_runaways() -> list[RunawayAtom]:
+                return nbl.runaways
+
+            def exchange_ids_and_x() -> None:
+                ids_f[:] = state.ids
+                ex.exchange(comm, TAG_X, [state.x, ids_f])
+                state.ids[:] = ids_f.astype(np.int64)
+
+            def migrate_runaways() -> None:
+                """Ship run-aways whose nearest site belongs elsewhere."""
+                outgoing: dict[int, list[RunawayAtom]] = {n: [] for n in neighbor_ranks}
+                for atom in list(owned_runaways()):
+                    owner = decomp.owner_of_site(int(sites[atom.host]))
+                    if owner != comm.rank:
+                        nbl._unlink(atom)
+                        outgoing[owner].append(atom)
+                for n in neighbor_ranks:
+                    comm.send(
+                        n,
+                        TAG_RUNAWAY_MIGRATE,
+                        _pack_runaways(outgoing[n], sites),
+                    )
+                for n in neighbor_ranks:
+                    _s, _t, payload = comm.recv(
+                        source=n, tag=TAG_RUNAWAY_MIGRATE
+                    )
+                    ids, hosts, xs, vs = payload
+                    for k in range(len(ids)):
+                        host_row = int(np.searchsorted(sites, hosts[k]))
+                        atom = RunawayAtom(
+                            id=int(ids[k]),
+                            x=xs[k].copy(),
+                            v=vs[k].copy(),
+                            host=host_row,
+                        )
+                        nbl._link(atom)
+
+            def broadcast_ghost_runaways() -> list[RunawayAtom]:
+                """Copies of owned run-aways for neighbors that see them."""
+                for n in neighbor_ranks:
+                    copies = [
+                        a
+                        for a in owned_runaways()
+                        if int(sites[a.host]) in interest[n]
+                    ]
+                    comm.send(
+                        n, TAG_RUNAWAY_GHOST_X, _pack_runaways(copies, sites)
+                    )
+                ghosts_in: list[RunawayAtom] = []
+                for n in neighbor_ranks:
+                    _s, _t, payload = comm.recv(
+                        source=n, tag=TAG_RUNAWAY_GHOST_X
+                    )
+                    ids, hosts, xs, vs = payload
+                    for k in range(len(ids)):
+                        idx = int(np.searchsorted(sites, hosts[k]))
+                        if idx >= len(sites) or sites[idx] != hosts[k]:
+                            continue  # outside my coverage
+                        ghosts_in.append(
+                            RunawayAtom(
+                                id=int(ids[k]),
+                                x=xs[k].copy(),
+                                v=vs[k].copy(),
+                                host=idx,
+                            )
+                        )
+                return ghosts_in
+
+            def exchange_runaway_rho(
+                ghost_runs: list[RunawayAtom],
+            ) -> None:
+                """Refresh ghost run-away densities from their owners."""
+                for n in neighbor_ranks:
+                    mine = [
+                        a
+                        for a in owned_runaways()
+                        if int(sites[a.host]) in interest[n]
+                    ]
+                    comm.send(
+                        n,
+                        TAG_RUNAWAY_GHOST_RHO,
+                        (
+                            np.array([a.id for a in mine], dtype=np.int64),
+                            np.array([a.rho for a in mine]),
+                        ),
+                    )
+                rho_by_id: dict[int, float] = {}
+                for n in neighbor_ranks:
+                    _s, _t, (ids, rhos) = comm.recv(
+                        source=n, tag=TAG_RUNAWAY_GHOST_RHO
+                    )
+                    for k in range(len(ids)):
+                        rho_by_id[int(ids[k])] = float(rhos[k])
+                for atom in ghost_runs:
+                    if atom.id in rho_by_id:
+                        atom.rho = rho_by_id[atom.id]
+
+            def runaway_star(
+                atom: RunawayAtom, occ: np.ndarray
+            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+                """(rows, d, r) of the atom's occupied lattice partners."""
+                rows = nbl._runaway_stencil(atom.host)
+                rows = rows[occ[rows]]
+                d = box.minimum_image(state.x[rows] - atom.x)
+                r = np.linalg.norm(d, axis=1)
+                keep = (r > 1e-12) & (r <= pot.cutoff)
+                return rows[keep], d[keep], r[keep]
+
+            def compute_step(
+                own_list: list[RunawayAtom], ghost_list: list[RunawayAtom]
+            ) -> None:
+                """Two-pass EAM with run-away participation."""
+                all_runs = own_list + ghost_list
+                occ = state.occupied
+                # --- density pass -------------------------------------
+                rho_c, _pair_e = star_density(
+                    pot, state.x, occ, central_rows, nbl.matrix, nbl.valid, box
+                )
+                state.rho[:] = 0.0
+                state.rho[central_rows] = rho_c
+                run_partners = []
+                for atom in all_runs:
+                    rows, d, r = runaway_star(atom, occ)
+                    fd = pot.fdens(r)
+                    state.rho[rows] += fd
+                    atom.rho = float(np.sum(fd))
+                    run_partners.append((rows, d, r))
+                # run-away / run-away density contributions
+                rr_pairs = _runaway_runaway_pairs(all_runs, box, pot.cutoff)
+                for a, b, d, r in rr_pairs:
+                    fd = float(pot.fdens(r))
+                    a.rho += fd
+                    b.rho += fd
+                # --- density reconciliation ---------------------------
+                ex.exchange(comm, TAG_RHO, [state.rho])
+                exchange_runaway_rho(ghost_list)
+                # --- force pass ----------------------------------------
+                forces[:] = 0.0
+                forces[central_rows] = star_forces(
+                    pot,
+                    state.x,
+                    occ,
+                    state.rho,
+                    central_rows,
+                    nbl.matrix,
+                    nbl.valid,
+                    box,
+                )
+                demb_sites = pot.dembed(state.rho)
+                for atom, (rows, d, r) in zip(all_runs, run_partners):
+                    demb_a = float(pot.dembed(atom.rho))
+                    coeff = (
+                        pot.dphi(r) + (demb_a + demb_sites[rows]) * pot.dfdens(r)
+                    ) / r
+                    # force on the run-away along +d (d = site - atom)...
+                    atom.f = np.einsum("m,mk->k", coeff, d)
+                    # ...and the reaction on the lattice sites.
+                    np.add.at(forces, rows, -coeff[:, None] * d)
+                for a, b, d, r in rr_pairs:
+                    demb_a = float(pot.dembed(a.rho))
+                    demb_b = float(pot.dembed(b.rho))
+                    coeff = float(
+                        (pot.dphi(r) + (demb_a + demb_b) * pot.dfdens(r)) / r
+                    )
+                    a.f = a.f + coeff * d
+                    b.f = b.f - coeff * d
+
+            # ----------------------------------------------------------
+            # main loop
+            # ----------------------------------------------------------
+            exchange_ids_and_x()
+            compute_step(owned_runaways(), broadcast_ghost_runaways())
+            for step in range(nsteps):
+                own = owned_runaways()
+                state.v[central_rows] += 0.5 * dt * fm * forces[central_rows]
+                vac = ~state.occupied
+                state.v[central_rows[vac[central_rows]]] = 0.0
+                state.x[central_rows] += dt * state.v[central_rows]
+                state.x[central_rows] = box.wrap(state.x[central_rows])
+                for atom in own:
+                    atom.v = atom.v + 0.5 * dt * fm * atom.f
+                    atom.x = box.wrap(atom.x + dt * atom.v)
+                if step % runaway_check_interval == 0:
+                    # Escape + relink over owned rows (ghosts parked),
+                    # then ownership migration, then the capture pass —
+                    # each capture decision is taken by the vacancy's
+                    # owner, after the run-away has reached it.
+                    _escape_and_relink(
+                        state, nbl, own_mask, displacement_threshold
+                    )
+                    migrate_runaways()
+                    _capture_pass(state, nbl, displacement_threshold)
+                exchange_ids_and_x()
+                compute_step(owned_runaways(), broadcast_ghost_runaways())
+                own = owned_runaways()
+                state.v[central_rows] += 0.5 * dt * fm * forces[central_rows]
+                for atom in own:
+                    atom.v = atom.v + 0.5 * dt * fm * atom.f
+            runs = owned_runaways()
+            return {
+                "owned": owned,
+                "x": state.x[central_rows].copy(),
+                "v": state.v[central_rows].copy(),
+                "ids": state.ids[central_rows].copy(),
+                "runaway_ids": np.array([a.id for a in runs], dtype=np.int64),
+                "runaway_x": np.array([a.x for a in runs]).reshape(-1, 3),
+            }
+
+        world = World(self.nranks, network=self.network)
+        results = world.run(rank_main)
+        nsites = lattice.nsites
+        x = np.zeros((nsites, 3))
+        v = np.zeros((nsites, 3))
+        ids = np.zeros(nsites, dtype=np.int64)
+        run_ids = []
+        run_x = []
+        for res in results:
+            x[res["owned"]] = res["x"]
+            v[res["owned"]] = res["v"]
+            ids[res["owned"]] = res["ids"]
+            run_ids.append(res["runaway_ids"])
+            run_x.append(res["runaway_x"])
+        run_ids = np.concatenate(run_ids)
+        run_x = (
+            np.concatenate(run_x) if len(run_ids) else np.empty((0, 3))
+        )
+        order = np.argsort(run_ids)
+        return ParallelDamageResult(
+            positions=x,
+            velocities=v,
+            vacancy_ranks=np.flatnonzero(ids < 0),
+            runaway_ids=run_ids[order],
+            runaway_positions=run_x[order],
+            comm_stats=world.stats.snapshot(),
+            nranks=self.nranks,
+        )
+
+
+def _escape_and_relink(
+    state: AtomState,
+    nbl: LatticeNeighborList,
+    own_mask: np.ndarray,
+    threshold: float,
+) -> None:
+    """Escape detection + relinking restricted to owned rows, no capture.
+
+    Ghost rows mirror remote atoms; their owners do their bookkeeping.
+    Temporarily parking ghost rows on their lattice points keeps the
+    shared scan (which is global over the local state) from
+    double-detecting, and a zero capture radius defers captures to the
+    owner-side pass after migration.
+    """
+    saved_x = state.x.copy()
+    saved_ids = state.ids.copy()
+    ghost_rows = np.flatnonzero(~own_mask)
+    state.x[ghost_rows] = state.site_pos[ghost_rows]
+    state.ids[ghost_rows] = np.abs(state.ids[ghost_rows])
+    try:
+        nbl.update_runaways(state, threshold, capture_radius=0.0)
+    finally:
+        state.x[ghost_rows] = saved_x[ghost_rows]
+        state.ids[ghost_rows] = saved_ids[ghost_rows]
+
+
+def _capture_pass(
+    state: AtomState, nbl: LatticeNeighborList, threshold: float
+) -> None:
+    """Owner-side capture: a run-away on a vacant host re-occupies it.
+
+    Uses the serial engine's capture radius (threshold / 2) and the same
+    host-sorted processing order, so trajectories match the serial
+    bookkeeping exactly.
+    """
+    cap = threshold / 2.0
+    for atom in list(nbl.runaways):
+        dist = float(
+            np.linalg.norm(
+                nbl.box.minimum_image(atom.x - state.site_pos[atom.host])
+            )
+        )
+        if state.ids[atom.host] < 0 and dist <= cap:
+            nbl._unlink(atom)
+            state.occupy(atom.host, atom.id, atom.x, atom.v)
+
+
+def _runaway_runaway_pairs(
+    runs: list[RunawayAtom], box: Box, cutoff: float
+) -> list[tuple[RunawayAtom, RunawayAtom, np.ndarray, float]]:
+    """All interacting run-away pairs in a (small) population."""
+    out = []
+    for i, a in enumerate(runs):
+        for b in runs[i + 1 :]:
+            d = box.minimum_image(b.x - a.x)
+            r = float(np.linalg.norm(d))
+            if 1e-12 < r <= cutoff:
+                out.append((a, b, d, r))
+    return out

@@ -1,0 +1,33 @@
+"""Analytical scaling models for the paper's large-scale figures.
+
+The paper's scaling results (Figs 10, 11, 14, 15, 16) were measured on up
+to 6,656,000 Sunway cores; a Python reproduction cannot run them.  Per
+DESIGN.md, we regenerate their *shape* from first-principles arithmetic:
+
+    T(P) = compute(workload / P) + pack(boundary) + network(P) + sync(P)
+
+with per-unit costs calibrated from this repository's own executable
+models (the blocked CPE kernel for MD compute, the measured ghost-exchange
+traffic of the parallel engines for communication volume) plus documented
+machine constants for the network.  The models make the same qualitative
+predictions the paper measures: strong-scaling decay to ~40% at 64x for
+MD, the KMC L2 super-linear window, flat compute/growing communication in
+weak scaling, and coupled efficiency of ~76% at 6.24M cores.
+"""
+
+from repro.perfmodel.machine import ScalingNetwork, TAIHULIGHT, MachineSpec
+from repro.perfmodel.calibrate import CalibratedCosts, calibrate_from_kernels
+from repro.perfmodel.md_model import MDScalingModel
+from repro.perfmodel.kmc_model import KMCScalingModel
+from repro.perfmodel.coupled_model import CoupledScalingModel
+
+__all__ = [
+    "ScalingNetwork",
+    "TAIHULIGHT",
+    "MachineSpec",
+    "CalibratedCosts",
+    "calibrate_from_kernels",
+    "MDScalingModel",
+    "KMCScalingModel",
+    "CoupledScalingModel",
+]

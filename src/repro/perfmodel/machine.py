@@ -1,0 +1,101 @@
+"""Machine constants of the scaling models.
+
+:class:`ScalingNetwork` extends the postal model with a *power-law*
+contention term: at full-machine scale the effective per-byte cost of the
+TaihuLight interconnect degrades roughly as ``(P / P0)^gamma`` (shared
+links, adaptive routing pressure) — the effect behind the paper's "the
+communication time for larger number of cores is a little higher, which is
+caused by the communication contention".
+
+:data:`TAIHULIGHT` collects the system-level facts of §3 ("total 40,960
+computing nodes", 4 CGs per node, 8 GB per CG, 1.45 GHz, 256 KB MPE L2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sunway.arch import SunwayArch
+
+
+@dataclass(frozen=True)
+class ScalingNetwork:
+    """Postal network model with power-law contention.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency (s).
+    beta0:
+        Per-byte cost (s) at the normalization scale ``p0``.
+    gamma:
+        Contention exponent: ``beta_eff = beta0 * (P / p0)^gamma`` for
+        ``P > p0``.
+    p0:
+        Rank count at which ``beta0`` is quoted.
+    sync_alpha:
+        Per-hop cost of the synchronization collectives (s); scaled by
+        tree depth and a contention factor of its own.
+    sync_contention:
+        Linear-in-depth inflation of collective hops at scale.
+    """
+
+    alpha: float = 5.0e-6
+    beta0: float = 2.0e-9
+    gamma: float = 0.3
+    p0: int = 1000
+    sync_alpha: float = 1.0e-5
+    sync_contention: float = 1.5
+
+    def beta(self, nranks: int) -> float:
+        """Effective per-byte cost at ``nranks`` ranks."""
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if nranks <= self.p0:
+            return self.beta0
+        return self.beta0 * (nranks / self.p0) ** self.gamma
+
+    def exchange(self, messages: int, nbytes: float, nranks: int) -> float:
+        """Time of one halo-exchange phase on the critical rank."""
+        return messages * self.alpha + nbytes * self.beta(nranks)
+
+    def collective(self, nranks: int) -> float:
+        """Time of one global synchronization (allreduce/barrier)."""
+        if nranks <= 1:
+            return 0.0
+        depth = math.log2(nranks)
+        return self.sync_alpha * depth * (1.0 + self.sync_contention * depth)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """System-level facts of the Sunway TaihuLight."""
+
+    arch: SunwayArch = SunwayArch()
+    nodes: int = 40960
+    cgs_per_node: int = 4
+    network: ScalingNetwork = ScalingNetwork()
+
+    @property
+    def total_cgs(self) -> int:
+        return self.nodes * self.cgs_per_node
+
+    @property
+    def total_cores(self) -> int:
+        """Master + slave cores of the full machine (10,649,600)."""
+        return self.total_cgs * self.arch.cores_per_cg
+
+    def cgs_from_cores(self, cores: int) -> int:
+        """Core groups represented by a paper-style master+slave core count."""
+        cgs, rem = divmod(cores, self.arch.cores_per_cg)
+        if rem or cgs < 1:
+            raise ValueError(
+                f"{cores} cores is not a whole number of {self.arch.cores_per_cg}"
+                "-core groups"
+            )
+        return cgs
+
+
+#: The evaluation platform of §3.
+TAIHULIGHT = MachineSpec()

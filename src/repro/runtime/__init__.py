@@ -1,0 +1,41 @@
+"""In-process message-passing runtime (the reproduction's "MPI").
+
+The paper runs on MPI over 40,960 Sunway nodes.  This package provides an
+in-process runtime with MPI semantics so the *same parallel algorithms*
+(domain-decomposed MD ghost exchange, sector-synchronous KMC, on-demand
+communication with probe or one-sided windows) execute for real on one
+machine:
+
+* :class:`~repro.runtime.simmpi.World` — spawns one thread per rank and
+  runs an SPMD ``main(comm)`` function on each.
+* :class:`~repro.runtime.simmpi.RankComm` — two-sided ``send`` / ``recv``
+  / ``probe`` / ``iprobe``, plus ``barrier`` / ``allreduce`` /
+  ``allgather`` / ``bcast`` collectives.
+* :class:`~repro.runtime.window.Window` — one-sided ``put`` + ``fence``,
+  the MPI-3 RMA pattern §2.2.1 proposes for eliminating zero-size probe
+  messages.
+* :class:`~repro.runtime.stats.TrafficStats` — counts every byte and
+  message (the measurements behind Figures 12-13).
+* :class:`~repro.runtime.netmodel.NetworkModel` — an alpha-beta network
+  cost model that converts measured traffic into modeled communication
+  time, replacing wall-clock timing that a threaded in-process runtime
+  cannot meaningfully provide.
+"""
+
+from repro.runtime.simmpi import World, RankComm, ANY_SOURCE, ANY_TAG, Status
+from repro.runtime.window import Window
+from repro.runtime.stats import TrafficStats
+from repro.runtime.netmodel import NetworkModel
+from repro.runtime.topology import CartesianTopology
+
+__all__ = [
+    "World",
+    "RankComm",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Status",
+    "Window",
+    "TrafficStats",
+    "NetworkModel",
+    "CartesianTopology",
+]

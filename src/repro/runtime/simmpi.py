@@ -1,0 +1,326 @@
+"""The in-process SPMD runtime: ranks, two-sided messaging, collectives.
+
+:class:`World` spawns one Python thread per rank, each executing the same
+``main(comm)`` function — the SPMD model of an MPI program.  Messages are
+moved through per-rank mailboxes with MPI's matching semantics:
+
+* ``send`` is eager and buffered (payloads are defensively copied, so a
+  sender may immediately reuse its buffers — MPI's eager protocol for
+  small/medium messages).
+* ``recv`` blocks until a matching message arrives; ``ANY_SOURCE`` /
+  ``ANY_TAG`` wildcards are supported, with FIFO ordering per
+  (source, tag) pair as MPI guarantees.
+* ``probe`` blocks until a matching message is available and returns its
+  envelope *without* consuming it — the primitive §2.2.1 uses to learn
+  message sizes "determined at runtime" before posting the receive.
+* ``iprobe`` is the non-blocking variant.
+
+Collectives (``barrier``, ``allreduce``, ``allgather``, ``bcast``) are
+implemented over shared slots guarded by a reusable barrier.
+
+All traffic is recorded in :class:`~repro.runtime.stats.TrafficStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.runtime.netmodel import NetworkModel
+from repro.runtime.stats import TrafficStats, payload_nbytes
+
+#: Wildcard source for :meth:`RankComm.recv` / :meth:`RankComm.probe`.
+ANY_SOURCE: int = -1
+#: Wildcard tag.
+ANY_TAG: int = -1
+
+#: Seconds a blocked receive waits between abort-flag checks.
+_POLL_INTERVAL = 0.02
+
+
+class WorldAborted(RuntimeError):
+    """Raised in surviving ranks when another rank failed."""
+
+
+@dataclass(frozen=True)
+class Status:
+    """Envelope information returned by probe operations."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+def _freeze(obj):
+    """Defensive copy of a payload (MPI buffered-send semantics)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_freeze(x) for x in obj)
+    if isinstance(obj, list):
+        return [_freeze(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _freeze(v) for k, v in obj.items()}
+    return obj
+
+
+class _Mailbox:
+    """FIFO message store of one rank with condition-variable waiting."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queue: list[tuple[int, int, Any, int]] = []
+
+    def deposit(self, src: int, tag: int, payload, nbytes: int) -> None:
+        with self._cond:
+            self._queue.append((src, tag, payload, nbytes))
+            self._cond.notify_all()
+
+    def _match_index(self, source: int, tag: int) -> int | None:
+        for idx, (src, t, _payload, _n) in enumerate(self._queue):
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
+                return idx
+        return None
+
+    def take(self, source: int, tag: int, abort: threading.Event):
+        """Blocking consume of the first matching message."""
+        with self._cond:
+            while True:
+                idx = self._match_index(source, tag)
+                if idx is not None:
+                    return self._queue.pop(idx)
+                if abort.is_set():
+                    raise WorldAborted("world aborted while waiting in recv")
+                self._cond.wait(timeout=_POLL_INTERVAL)
+
+    def peek(self, source: int, tag: int, abort: threading.Event):
+        """Blocking probe of the first matching message (not consumed)."""
+        with self._cond:
+            while True:
+                idx = self._match_index(source, tag)
+                if idx is not None:
+                    return self._queue[idx]
+                if abort.is_set():
+                    raise WorldAborted("world aborted while waiting in probe")
+                self._cond.wait(timeout=_POLL_INTERVAL)
+
+    def try_peek(self, source: int, tag: int):
+        """Non-blocking probe; returns the message tuple or ``None``."""
+        with self._cond:
+            idx = self._match_index(source, tag)
+            return None if idx is None else self._queue[idx]
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+
+class _Collectives:
+    """Slot-exchange machinery shared by all ranks of a world."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.barrier = threading.Barrier(nranks)
+        self.slots: list[Any] = [None] * nranks
+
+    def wait(self) -> None:
+        try:
+            self.barrier.wait()
+        except threading.BrokenBarrierError as exc:
+            raise WorldAborted("world aborted during a collective") from exc
+
+    def exchange(self, rank: int, value) -> list:
+        """All ranks deposit a value; everyone gets the full list back."""
+        self.slots[rank] = value
+        self.wait()
+        out = list(self.slots)
+        self.wait()
+        return out
+
+
+class RankComm:
+    """The communicator handle passed to each rank's ``main`` function."""
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.nranks
+
+    @property
+    def stats(self) -> TrafficStats:
+        """The world-wide traffic accounting object."""
+        return self.world.stats
+
+    # ------------------------------------------------------------------
+    # Two-sided messaging
+    # ------------------------------------------------------------------
+    def send(self, dest: int, tag: int, payload=None) -> None:
+        """Eager buffered send; returns immediately."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        if tag < 0:
+            raise ValueError(f"tag must be non-negative, got {tag}")
+        nbytes = payload_nbytes(payload)
+        self.world.stats.record_send(self.rank, dest, nbytes)
+        self.world.mailboxes[dest].deposit(self.rank, tag, _freeze(payload), nbytes)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns ``(source, tag, payload)``."""
+        src, t, payload, nbytes = self.world.mailboxes[self.rank].take(
+            source, tag, self.world.abort
+        )
+        self.world.stats.record_recv(self.rank, nbytes)
+        return src, t, payload
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: envelope of the next matching message."""
+        src, t, _payload, nbytes = self.world.mailboxes[self.rank].peek(
+            source, tag, self.world.abort
+        )
+        return Status(source=src, tag=t, nbytes=nbytes)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Non-blocking probe; ``None`` if no matching message is queued."""
+        hit = self.world.mailboxes[self.rank].try_peek(source, tag)
+        if hit is None:
+            return None
+        src, t, _payload, nbytes = hit
+        return Status(source=src, tag=t, nbytes=nbytes)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        if self.rank == 0:
+            self.world.stats.record_collective(0)
+        self.world.collectives.wait()
+
+    def allgather(self, value) -> list:
+        """Every rank contributes ``value``; all get the list by rank."""
+        if self.rank == 0:
+            self.world.stats.record_collective(payload_nbytes(value))
+        return self.world.collectives.exchange(self.rank, _freeze(value))
+
+    def allreduce(self, value, op: str = "sum"):
+        """Reduce ``value`` across ranks with ``op`` in {sum, min, max}.
+
+        Works on scalars and NumPy arrays (elementwise).
+        """
+        values = self.allgather(value)
+        if op == "sum":
+            out = values[0]
+            for v in values[1:]:
+                out = out + v
+            return out
+        if op == "min":
+            out = values[0]
+            for v in values[1:]:
+                out = np.minimum(out, v) if isinstance(out, np.ndarray) else min(out, v)
+            return out
+        if op == "max":
+            out = values[0]
+            for v in values[1:]:
+                out = np.maximum(out, v) if isinstance(out, np.ndarray) else max(out, v)
+            return out
+        raise ValueError(f"unknown reduction op {op!r}")
+
+    def bcast(self, value=None, root: int = 0):
+        """Broadcast ``value`` from ``root`` to all ranks."""
+        if not 0 <= root < self.size:
+            raise ValueError(f"root rank {root} out of range")
+        values = self.allgather(value if self.rank == root else None)
+        return values[root]
+
+    # ------------------------------------------------------------------
+    # One-sided communication
+    # ------------------------------------------------------------------
+    def win_create(self):
+        """Collectively create a one-sided :class:`Window`."""
+        from repro.runtime.window import Window, WindowShared
+
+        # Control-plane exchange: bypasses stats metering and payload
+        # freezing (the shared handle must be identical on all ranks).
+        values = self.world.collectives.exchange(
+            self.rank, WindowShared(self.size) if self.rank == 0 else None
+        )
+        return Window(self, values[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankComm(rank={self.rank}, size={self.size})"
+
+
+class World:
+    """A fixed-size group of SPMD ranks executed on threads.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks.
+    network:
+        Cost model for the traffic accounting (defaults to a generic
+        HPC interconnect; use :data:`repro.runtime.netmodel.SUNWAY_NETWORK`
+        for the TaihuLight-flavored parameters).
+    """
+
+    def __init__(self, nranks: int, network: NetworkModel | None = None) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.stats = TrafficStats(nranks, network or NetworkModel())
+        self.mailboxes = [_Mailbox() for _ in range(nranks)]
+        self.collectives = _Collectives(nranks)
+        self.abort = threading.Event()
+        self._errors: list[tuple[int, BaseException]] = []
+        self._error_lock = threading.Lock()
+
+    def run(self, main: Callable[[RankComm], Any], timeout: float = 300.0) -> list:
+        """Execute ``main(comm)`` on every rank; return per-rank results.
+
+        If any rank raises, the world is aborted (blocked ranks unblock
+        with :class:`WorldAborted`) and the first error is re-raised.
+        """
+        results: list[Any] = [None] * self.nranks
+        threads = []
+
+        def wrapper(rank: int) -> None:
+            comm = RankComm(self, rank)
+            try:
+                results[rank] = main(comm)
+            except WorldAborted:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - must cross threads
+                with self._error_lock:
+                    self._errors.append((rank, exc))
+                self.abort.set()
+                self.collectives.barrier.abort()
+
+        for rank in range(self.nranks):
+            t = threading.Thread(
+                target=wrapper, args=(rank,), name=f"simmpi-rank-{rank}", daemon=True
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+        if any(t.is_alive() for t in threads):
+            self.abort.set()
+            self.collectives.barrier.abort()
+            for t in threads:
+                t.join(timeout=5.0)
+            raise TimeoutError(f"world of {self.nranks} ranks timed out")
+        if self._errors:
+            rank, exc = self._errors[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+    def pending_messages(self) -> int:
+        """Messages deposited but never received (should be 0 after run)."""
+        return sum(mb.pending() for mb in self.mailboxes)

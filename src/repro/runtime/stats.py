@@ -1,0 +1,153 @@
+"""Per-rank communication accounting.
+
+Every message the runtime carries is recorded here: count, payload bytes,
+and modeled time (via :class:`~repro.runtime.netmodel.NetworkModel`).
+These measurements are the data behind the Figure 12 (communication
+volume) and Figure 13 (communication time) reproductions.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.netmodel import NetworkModel
+
+
+def payload_nbytes(obj) -> int:
+    """Wire size of a message payload in bytes.
+
+    NumPy arrays and raw byte strings are counted exactly (the runtime
+    moves them by reference, mimicking MPI's buffer sends); structured
+    payloads of arrays are summed; anything else is costed at its pickled
+    size.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (int, float, bool, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        # Unpicklable control-plane objects are costed as an envelope.
+        return 64
+
+
+@dataclass
+class RankCounters:
+    """Mutable traffic counters of a single rank."""
+
+    sent_messages: int = 0
+    sent_bytes: int = 0
+    recv_messages: int = 0
+    recv_bytes: int = 0
+    collectives: int = 0
+    comm_time: float = 0.0
+
+
+@dataclass
+class TrafficStats:
+    """Thread-safe aggregate of all communication in one :class:`World`.
+
+    Attributes
+    ----------
+    nranks:
+        World size (used by the contention model).
+    network:
+        Cost model converting traffic to modeled seconds.
+    """
+
+    nranks: int
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self.ranks = [RankCounters() for _ in range(self.nranks)]
+
+    # ------------------------------------------------------------------
+    # Recording (called by the runtime)
+    # ------------------------------------------------------------------
+    def record_send(self, src: int, dst: int, nbytes: int) -> None:
+        t = self.network.point_to_point(nbytes, self.nranks)
+        with self._lock:
+            c = self.ranks[src]
+            c.sent_messages += 1
+            c.sent_bytes += nbytes
+            c.comm_time += t
+
+    def record_recv(self, dst: int, nbytes: int) -> None:
+        with self._lock:
+            c = self.ranks[dst]
+            c.recv_messages += 1
+            c.recv_bytes += nbytes
+
+    def record_collective(self, nbytes: int = 8) -> None:
+        """Record one collective; charged to every rank."""
+        t = self.network.collective(self.nranks, nbytes)
+        with self._lock:
+            for c in self.ranks:
+                c.collectives += 1
+                c.comm_time += t
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_sent_bytes(self) -> int:
+        with self._lock:
+            return sum(c.sent_bytes for c in self.ranks)
+
+    @property
+    def total_messages(self) -> int:
+        with self._lock:
+            return sum(c.sent_messages for c in self.ranks)
+
+    @property
+    def total_collectives(self) -> int:
+        with self._lock:
+            return sum(c.collectives for c in self.ranks)
+
+    @property
+    def max_comm_time(self) -> float:
+        """Modeled communication time on the critical (slowest) rank."""
+        with self._lock:
+            return max((c.comm_time for c in self.ranks), default=0.0)
+
+    @property
+    def mean_comm_time(self) -> float:
+        with self._lock:
+            if not self.ranks:
+                return 0.0
+            return sum(c.comm_time for c in self.ranks) / len(self.ranks)
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary for logging and experiment tables."""
+        with self._lock:
+            return {
+                "nranks": self.nranks,
+                "total_sent_bytes": sum(c.sent_bytes for c in self.ranks),
+                "total_messages": sum(c.sent_messages for c in self.ranks),
+                "total_collectives": sum(c.collectives for c in self.ranks),
+                "max_comm_time": max((c.comm_time for c in self.ranks), default=0.0),
+                "mean_comm_time": (
+                    sum(c.comm_time for c in self.ranks) / len(self.ranks)
+                    if self.ranks
+                    else 0.0
+                ),
+            }
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. after a warm-up phase)."""
+        with self._lock:
+            self.ranks = [RankCounters() for _ in range(self.nranks)]

@@ -1,0 +1,72 @@
+"""Cartesian process topologies (MPI_Cart_create analogue).
+
+Maps linear ranks onto a periodic 3-D process grid and answers neighbor
+queries — the process-side counterpart of the cell-side arithmetic in
+:mod:`repro.lattice.domain`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+
+class CartesianTopology:
+    """A periodic Cartesian arrangement of ``px * py * pz`` ranks."""
+
+    def __init__(self, grid: tuple[int, int, int]) -> None:
+        px, py, pz = grid
+        if px < 1 or py < 1 or pz < 1:
+            raise ValueError(f"grid dims must be positive, got {grid}")
+        self.grid = (int(px), int(py), int(pz))
+
+    @property
+    def nranks(self) -> int:
+        px, py, pz = self.grid
+        return px * py * pz
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """Grid coordinates of a linear rank (row-major, z fastest)."""
+        px, py, pz = self.grid
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range for grid {self.grid}")
+        cz = rank % pz
+        rest = rank // pz
+        cy = rest % py
+        cx = rest // py
+        return (cx, cy, cz)
+
+    def rank(self, coords) -> int:
+        """Linear rank of grid coordinates, wrapped periodically."""
+        px, py, pz = self.grid
+        cx, cy, cz = coords[0] % px, coords[1] % py, coords[2] % pz
+        return (cx * py + cy) * pz + cz
+
+    def shift(self, rank: int, direction) -> int:
+        """Rank of the periodic neighbor of ``rank`` toward ``direction``."""
+        cx, cy, cz = self.coords(rank)
+        return self.rank((cx + direction[0], cy + direction[1], cz + direction[2]))
+
+    def neighbors(self, rank: int, include_diagonals: bool = True) -> dict:
+        """All neighbor ranks keyed by direction tuple.
+
+        With ``include_diagonals`` the 26-neighborhood is returned (what
+        ghost exchange over a cutoff shell needs); otherwise the 6 face
+        neighbors.
+        """
+        out = {}
+        for d in product((-1, 0, 1), repeat=3):
+            if d == (0, 0, 0):
+                continue
+            if not include_diagonals and sum(abs(x) for x in d) != 1:
+                continue
+            out[d] = self.shift(rank, d)
+        return out
+
+    def distinct_neighbors(self, rank: int) -> set[int]:
+        """Unique neighbor ranks (small grids alias many directions)."""
+        return set(self.neighbors(rank).values()) - {rank}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CartesianTopology(grid={self.grid})"

@@ -1,0 +1,72 @@
+"""One-sided communication windows (MPI-3 RMA style).
+
+§2.2.1: "we can use MPI one-sided communication interfaces, by which only
+one side is involved in the communication, to eliminate these zero-size
+messages. Firstly, each process opens a globally-shared window on the
+subdomain. Secondly, each process puts the updates in the ghost sites to
+its neighbor processes. Thirdly, a global synchronization is carried out
+to guarantee the completion of the communications."
+
+The :class:`Window` here follows that protocol exactly: ``put`` deposits a
+payload at a target rank with no action required from the target, and
+``fence`` (the global synchronization) completes all outstanding puts and
+hands each rank whatever was put into its window during the epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.runtime.stats import payload_nbytes
+
+
+class WindowShared:
+    """State shared by all ranks of one window: per-rank pending-put lists."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.lock = threading.Lock()
+        self.pending: list[list[tuple[int, Any]]] = [[] for _ in range(nranks)]
+
+
+class Window:
+    """One rank's handle on a collectively-created RMA window."""
+
+    def __init__(self, comm, shared: WindowShared) -> None:
+        if shared.nranks != comm.size:
+            raise ValueError("window shared state does not match world size")
+        self.comm = comm
+        self.shared = shared
+        self._epoch_opens = 0
+
+    def put(self, target: int, payload) -> None:
+        """Deposit ``payload`` in ``target``'s window; target not involved.
+
+        Completion is only guaranteed after the next :meth:`fence`.
+        """
+        if not 0 <= target < self.shared.nranks:
+            raise ValueError(f"target rank {target} out of range")
+        from repro.runtime.simmpi import _freeze
+
+        nbytes = payload_nbytes(payload)
+        self.comm.stats.record_send(self.comm.rank, target, nbytes)
+        with self.shared.lock:
+            self.shared.pending[target].append((self.comm.rank, _freeze(payload)))
+
+    def fence(self) -> list[tuple[int, Any]]:
+        """Synchronize the epoch; return ``(origin, payload)`` puts received.
+
+        Implements the paper's "global synchronization ... to guarantee the
+        completion of the communications": a barrier before draining makes
+        all puts of the epoch visible, a barrier after prevents a fast rank
+        from starting the next epoch early.
+        """
+        self.comm.barrier()
+        with self.shared.lock:
+            mine = self.shared.pending[self.comm.rank]
+            self.shared.pending[self.comm.rank] = []
+        for _src, payload in mine:
+            self.comm.stats.record_recv(self.comm.rank, payload_nbytes(payload))
+        self.comm.barrier()
+        return mine

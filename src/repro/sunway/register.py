@@ -1,0 +1,307 @@
+"""Register communication across the 8x8 CPE mesh (§2.1.2 / §5).
+
+The paper discusses — and rejects for its workload — an alternative to
+table compaction: "Another method is to distribute all the tables to the
+local stores of neighbor slave cores, and use register communication
+supported by Sunway many-core architecture to transfer data between the
+local stores. However, since which data in the tables should be
+transferred cannot be known before runtime, it is very difficult to
+describe these irregular communications using register communication."
+
+Its §5 then proposes the fix as future work: "efficient one-sided
+register communication, which facilitates the describing of irregular
+data transfers, is a promising alternative."
+
+This module builds both so the trade-off is measurable:
+
+* :class:`RegisterMesh` — the hardware constraint: register transfers
+  only connect CPEs in the same row or column of the 8x8 mesh; anything
+  else hops through an intermediate (row-then-column routing).
+* :class:`TwoSidedRegisterProtocol` — the production interface: both
+  sides must post matching operations, so an *irregular* (data-dependent)
+  access pattern forces every potential partner to participate in every
+  round (the difficulty the paper describes), which is priced here as
+  full-round synchronization.
+* :class:`OneSidedRegisterProtocol` — the paper's proposed alternative:
+  the reader fetches a remote local-store segment directly; only the
+  requester pays.
+* :class:`DistributedTable` — the actual use case: a table sharded
+  across the 64 CPE local stores, with per-lookup cost under either
+  protocol, comparable against the DMA-per-lookup and compacted-resident
+  strategies of :mod:`repro.sunway.kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sunway.arch import SunwayArch
+from repro.sunway.localstore import LocalStore, LocalStoreOverflow
+
+#: CPE mesh dimensions.
+MESH_ROWS = 8
+MESH_COLS = 8
+
+
+@dataclass
+class RegisterStats:
+    """Transfer accounting of one register-communication session."""
+
+    transfers: int = 0
+    hops: int = 0
+    bytes: int = 0
+    sync_rounds: int = 0
+    time: float = 0.0
+
+
+@dataclass(frozen=True)
+class RegisterCosts:
+    """Cost constants of the register mesh.
+
+    Register communication is the CPE mesh's fast path: ~10 cycles per
+    256-bit transfer between row/column peers, plus a per-round
+    synchronization cost for the two-sided protocol.
+    """
+
+    cycles_per_hop: float = 11.0
+    payload_bytes: int = 32  # one 256-bit register
+    sync_cycles: float = 120.0  # two-sided round synchronization
+
+
+class RegisterMesh:
+    """Topology and pricing of the 8x8 CPE register-communication mesh."""
+
+    def __init__(
+        self, arch: SunwayArch | None = None, costs: RegisterCosts | None = None
+    ) -> None:
+        self.arch = arch or SunwayArch()
+        self.costs = costs or RegisterCosts()
+        self.stats = RegisterStats()
+
+    @staticmethod
+    def coords(cpe: int) -> tuple[int, int]:
+        """(row, col) of a CPE index in 0..63."""
+        if not 0 <= cpe < MESH_ROWS * MESH_COLS:
+            raise ValueError(f"CPE index {cpe} out of range")
+        return divmod(cpe, MESH_COLS)
+
+    @classmethod
+    def hops_between(cls, src: int, dst: int) -> int:
+        """Register hops between two CPEs.
+
+        0 for self; 1 within a row or column; 2 otherwise (row-then-column
+        through an intermediate CPE).
+        """
+        r1, c1 = cls.coords(src)
+        r2, c2 = cls.coords(dst)
+        if src == dst:
+            return 0
+        if r1 == r2 or c1 == c2:
+            return 1
+        return 2
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Price one register transfer of ``nbytes`` from src to dst."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        hops = self.hops_between(src, dst)
+        if hops == 0:
+            return 0.0
+        packets = -(-nbytes // self.costs.payload_bytes)  # ceil division
+        cycles = packets * hops * self.costs.cycles_per_hop
+        t = self.arch.compute_time(cycles)
+        self.stats.transfers += 1
+        self.stats.hops += hops
+        self.stats.bytes += nbytes
+        self.stats.time += t
+        return t
+
+    def sync_round_time(self, participants: int) -> float:
+        """Price one two-sided synchronization round across ``participants``."""
+        if participants < 1:
+            raise ValueError("participants must be >= 1")
+        t = self.arch.compute_time(self.costs.sync_cycles)
+        self.stats.sync_rounds += 1
+        self.stats.time += t
+        return t
+
+    def reset(self) -> None:
+        self.stats = RegisterStats()
+
+
+@dataclass
+class ShardMap:
+    """Placement of table segments across the 64 CPE local stores."""
+
+    nsegments: int
+    segment_bytes: int
+    #: segment index -> owning CPE.
+    owner: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        if len(self.owner) == 0:
+            self.owner = np.arange(self.nsegments, dtype=np.int64) % (
+                MESH_ROWS * MESH_COLS
+            )
+
+
+class DistributedTable:
+    """An interpolation table sharded across CPE local stores.
+
+    Parameters
+    ----------
+    table_bytes:
+        Total payload of the table(s) being distributed (e.g. the three
+        compacted Fe-Cu table sets at once: ~351 KB).
+    arch:
+        Machine model; each CPE contributes its free local store.
+    reserve_bytes:
+        Local-store bytes kept free per CPE for the kernel's own buffers.
+    """
+
+    def __init__(
+        self,
+        table_bytes: int,
+        arch: SunwayArch | None = None,
+        reserve_bytes: int = 40 * 1024,
+    ) -> None:
+        self.arch = arch or SunwayArch()
+        if table_bytes <= 0:
+            raise ValueError(f"table_bytes must be positive, got {table_bytes}")
+        per_cpe_budget = self.arch.local_store_bytes - reserve_bytes
+        if per_cpe_budget <= 0:
+            raise LocalStoreOverflow(
+                f"reserve {reserve_bytes} leaves no room for table shards"
+            )
+        total_budget = per_cpe_budget * MESH_ROWS * MESH_COLS
+        if table_bytes > total_budget:
+            raise LocalStoreOverflow(
+                f"{table_bytes} B of tables exceed the mesh aggregate "
+                f"budget {total_budget} B"
+            )
+        self.table_bytes = int(table_bytes)
+        self.segment_bytes = per_cpe_budget
+        nsegments = -(-table_bytes // per_cpe_budget)
+        self.shards = ShardMap(nsegments=nsegments, segment_bytes=per_cpe_budget)
+        # Validate the placement against real capacity accounting.
+        for cpe in range(MESH_ROWS * MESH_COLS):
+            store = LocalStore(self.arch.local_store_bytes)
+            store.alloc("kernel_buffers", reserve_bytes)
+            owned = int(np.sum(self.shards.owner == cpe))
+            if owned:
+                store.alloc("table_shard", min(owned * per_cpe_budget, per_cpe_budget))
+
+    def segment_of(self, offset: int) -> int:
+        """Which segment holds byte ``offset`` of the table."""
+        if not 0 <= offset < self.table_bytes:
+            raise ValueError(f"offset {offset} outside the table")
+        return offset // self.segment_bytes
+
+    def owner_of(self, offset: int) -> int:
+        """Which CPE's local store holds byte ``offset``."""
+        return int(self.shards.owner[self.segment_of(offset)])
+
+    # ------------------------------------------------------------------
+    # Lookup pricing under the two protocols
+    # ------------------------------------------------------------------
+    def lookup_time_onesided(
+        self, mesh: RegisterMesh, reader: int, offset: int, nbytes: int
+    ) -> float:
+        """One-sided lookup: the reader fetches the remote segment bytes.
+
+        The §5 proposal: only the requester participates, so an irregular
+        (data-dependent) access pattern costs exactly its own transfers.
+        """
+        owner = self.owner_of(offset)
+        return mesh.transfer_time(owner, reader, nbytes)
+
+    def lookup_time_twosided(
+        self, mesh: RegisterMesh, reader: int, offset: int, nbytes: int
+    ) -> float:
+        """Two-sided lookup: a full mesh round per irregular access.
+
+        "which data in the tables should be transferred cannot be known
+        before runtime" — with matching-send semantics every potential
+        owner must participate in a synchronization round before the
+        actual transfer can be posted.
+        """
+        owner = self.owner_of(offset)
+        t = mesh.sync_round_time(MESH_ROWS * MESH_COLS)
+        return t + mesh.transfer_time(owner, reader, nbytes)
+
+
+class TwoSidedRegisterProtocol:
+    """Strategy handle: price a batch of irregular lookups, two-sided."""
+
+    name = "register_twosided"
+
+    def __init__(self, table: DistributedTable, mesh: RegisterMesh) -> None:
+        self.table = table
+        self.mesh = mesh
+
+    def batch_time(self, reader: int, offsets, nbytes: int) -> float:
+        return sum(
+            self.table.lookup_time_twosided(self.mesh, reader, int(o), nbytes)
+            for o in offsets
+        )
+
+
+class OneSidedRegisterProtocol:
+    """Strategy handle: price a batch of irregular lookups, one-sided."""
+
+    name = "register_onesided"
+
+    def __init__(self, table: DistributedTable, mesh: RegisterMesh) -> None:
+        self.table = table
+        self.mesh = mesh
+
+    def batch_time(self, reader: int, offsets, nbytes: int) -> float:
+        return sum(
+            self.table.lookup_time_onesided(self.mesh, reader, int(o), nbytes)
+            for o in offsets
+        )
+
+
+def lookup_strategy_comparison(
+    arch: SunwayArch | None = None,
+    table_bytes: int = 3 * 40008,  # three compacted tables (Fe-Cu density set)
+    lookups: int = 1000,
+    lookup_bytes: int = 40,  # five samples for on-the-fly reconstruction
+    seed: int = 0,
+) -> dict[str, float]:
+    """Per-lookup cost of the four table-access strategies (§2.1.2 + §5).
+
+    Returns modeled seconds per lookup for:
+
+    * ``dma`` — the traditional path: one DMA get per lookup;
+    * ``register_twosided`` — distributed shards, production register
+      interface (the paper's "very difficult" variant);
+    * ``register_onesided`` — distributed shards with the §5 proposal;
+    * ``resident`` — a compacted table resident in the local store
+      (the paper's chosen design; zero transfer).
+    """
+    arch = arch or SunwayArch()
+    rng = np.random.default_rng(seed)
+    offsets = rng.integers(0, table_bytes, size=lookups)
+    reader = 27  # an interior CPE
+    table = DistributedTable(table_bytes, arch)
+    out: dict[str, float] = {}
+    out["dma"] = arch.dma_time(lookup_bytes)
+    mesh = RegisterMesh(arch)
+    out["register_twosided"] = (
+        TwoSidedRegisterProtocol(table, mesh).batch_time(
+            reader, offsets, lookup_bytes
+        )
+        / lookups
+    )
+    mesh2 = RegisterMesh(arch)
+    out["register_onesided"] = (
+        OneSidedRegisterProtocol(table, mesh2).batch_time(
+            reader, offsets, lookup_bytes
+        )
+        / lookups
+    )
+    out["resident"] = 0.0
+    return out

@@ -1,0 +1,82 @@
+"""CLI tests (direct invocation, captured output)."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "memory",
+        }
+
+    def test_figure_modules_importable(self):
+        import importlib
+
+        for module in FIGURES.values():
+            importlib.import_module(f"repro.experiments.{module}")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ICPP 2018" in out
+        assert "10,649,600" in out
+
+    def test_cascade(self, capsys):
+        assert main(["cascade", "--cells", "6", "--steps", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Frenkel pairs" in out
+
+    def test_coupled(self, capsys):
+        assert main(["coupled", "--cells", "6", "--events", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "after MD" in out
+        assert "after KMC" in out
+
+    def test_figure_memory(self, capsys):
+        assert main(["figure", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "lattice_list" in out
+
+    def test_figure_fig10(self, capsys):
+        assert main(["figure", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+
+    def test_kmc_schemes(self, capsys):
+        assert (
+            main(
+                [
+                    "kmc-schemes",
+                    "--cells",
+                    "8",
+                    "--cycles",
+                    "3",
+                    "--vacancies",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "identical trajectories" in out

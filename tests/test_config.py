@@ -1,0 +1,41 @@
+"""Campaign configuration tests."""
+
+import pytest
+
+from repro.config import SimulationConfig, paper_setup
+from repro.kmc.events import RateParameters
+from repro.md.engine import MDConfig
+
+
+class TestSimulationConfig:
+    def test_paper_setup_defaults(self):
+        cfg = paper_setup()
+        assert cfg.temperature == 600.0
+        assert cfg.lattice_constant == 2.855
+        assert cfg.nsites == 2 * 8**3
+
+    def test_stage_temperatures_coherent(self):
+        cfg = paper_setup(cells=10)
+        assert cfg.md.temperature == cfg.temperature
+        assert cfg.rates.temperature == cfg.temperature
+        assert cfg.cascade.temperature == cfg.temperature
+
+    def test_incoherent_temperatures_rejected(self):
+        with pytest.raises(ValueError, match="disagrees"):
+            SimulationConfig(
+                temperature=600.0,
+                md=MDConfig(temperature=300.0),
+            )
+
+    def test_small_box_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            paper_setup(cells=4)
+
+    def test_rates_block_default(self):
+        cfg = paper_setup()
+        assert isinstance(cfg.rates, RateParameters)
+
+    def test_seed_threads_through(self):
+        cfg = paper_setup(seed=99)
+        assert cfg.seed == 99
+        assert cfg.md.seed == 99

@@ -1,0 +1,120 @@
+"""Vacancy cluster analysis tests (incl. hypothesis partition property)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusters import (
+    cluster_sizes,
+    clustering_report,
+    mean_nn_distance,
+    vacancy_clusters,
+)
+from repro.lattice.bcc import BCCLattice
+
+
+@pytest.fixture(scope="module")
+def lat():
+    return BCCLattice(6, 6, 6)
+
+
+class TestClusters:
+    def test_empty_input(self, lat):
+        assert vacancy_clusters(lat, np.array([], dtype=np.int64)) == []
+
+    def test_single_vacancy(self, lat):
+        clusters = vacancy_clusters(lat, np.array([10]))
+        assert clusters == [{10}]
+
+    def test_first_shell_pair_is_one_cluster(self, lat):
+        nbr = int(lat.first_shell_ranks(10)[0])
+        clusters = vacancy_clusters(lat, np.array([10, nbr]))
+        assert clusters == [{10, nbr}]
+
+    def test_second_shell_pair_is_one_cluster(self, lat):
+        nbr = int(lat.second_shell_ranks(10)[0])
+        clusters = vacancy_clusters(lat, np.array([10, nbr]))
+        assert len(clusters) == 1
+
+    def test_distant_pair_two_clusters(self, lat):
+        far = int(lat.rank_of(0, 3, 3, 3))
+        clusters = vacancy_clusters(lat, np.array([0, far]))
+        assert len(clusters) == 2
+
+    def test_chain_connects_transitively(self, lat):
+        # A first-shell chain a-b-c forms one cluster even though a and c
+        # may not be adjacent.
+        a = 10
+        b = int(lat.first_shell_ranks(a)[0])
+        c = int(lat.first_shell_ranks(b)[1])
+        clusters = vacancy_clusters(lat, np.array([a, b, c]))
+        assert len(clusters) == 1
+
+    def test_periodic_adjacency(self, lat):
+        # Sites adjacent across the periodic boundary cluster together.
+        left = int(lat.rank_of(0, 0, 0, 0))
+        right = int(lat.rank_of(1, lat.nx - 1, lat.ny - 1, lat.nz - 1))
+        clusters = vacancy_clusters(lat, np.array([left, right]))
+        assert len(clusters) == 1
+
+    def test_sorted_largest_first(self, lat):
+        a = 10
+        b = int(lat.first_shell_ranks(a)[0])
+        far = int(lat.rank_of(0, 3, 3, 3))
+        clusters = vacancy_clusters(lat, np.array([a, b, far]))
+        assert len(clusters[0]) == 2
+
+    @given(seed=st.integers(0, 500), n=st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_clusters_partition_input(self, lat, seed, n):
+        rng = np.random.default_rng(seed)
+        ranks = rng.choice(lat.nsites, size=n, replace=False)
+        clusters = vacancy_clusters(lat, ranks)
+        merged = sorted(r for c in clusters for r in c)
+        assert merged == sorted(int(r) for r in ranks)
+
+
+class TestStatistics:
+    def test_cluster_sizes_descending(self, lat):
+        sizes = cluster_sizes([{1, 2}, {3}, {4, 5, 6}])
+        assert sizes.tolist() == [3, 2, 1]
+
+    def test_mean_nn_distance_pairwise(self, lat):
+        nbr = int(lat.first_shell_ranks(10)[0])
+        d = mean_nn_distance(lat, np.array([10, nbr]))
+        assert d == pytest.approx(math.sqrt(3) / 2 * lat.a)
+
+    def test_mean_nn_distance_undefined_for_one(self, lat):
+        assert math.isnan(mean_nn_distance(lat, np.array([5])))
+
+    def test_report_fields(self, lat):
+        a = 10
+        b = int(lat.first_shell_ranks(a)[0])
+        far = int(lat.rank_of(0, 3, 3, 3))
+        rep = clustering_report(lat, np.array([a, b, far]))
+        assert rep.n_vacancies == 3
+        assert rep.n_clusters == 2
+        assert rep.max_cluster == 2
+        assert rep.mean_cluster == pytest.approx(1.5)
+        assert rep.clustered_fraction == pytest.approx(2 / 3)
+
+    def test_report_empty(self, lat):
+        rep = clustering_report(lat, np.array([], dtype=np.int64))
+        assert rep.n_vacancies == 0
+        assert rep.max_cluster == 0
+        assert rep.clustered_fraction == 0.0
+
+    def test_report_str(self, lat):
+        rep = clustering_report(lat, np.array([10]))
+        assert "1 vacancies" in str(rep)
+
+    def test_custom_bond_distance(self, lat):
+        # With a sub-first-shell bond distance nothing clusters.
+        nbr = int(lat.first_shell_ranks(10)[0])
+        clusters = vacancy_clusters(
+            lat, np.array([10, nbr]), bond_distance=1.0
+        )
+        assert len(clusters) == 2

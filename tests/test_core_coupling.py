@@ -1,0 +1,87 @@
+"""Coupled MD-KMC pipeline integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.coupling import CoupledConfig, CoupledSimulation
+from repro.kmc.events import ATOM, VACANCY
+
+
+@pytest.fixture(scope="module")
+def coupled_result():
+    sim = CoupledSimulation(
+        CoupledConfig(cells=6, kmc_max_events=200, table_points=1000, seed=7)
+    )
+    return sim, sim.run()
+
+
+class TestConfig:
+    def test_too_small_box_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            CoupledConfig(cells=3)
+
+    def test_bad_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            CoupledConfig(temperature=-10.0)
+
+
+class TestPipeline:
+    def test_md_stage_produces_damage(self, coupled_result):
+        _sim, res = coupled_result
+        assert len(res.vacancies_after_md) >= 1
+        assert res.cascade.n_runaways >= 1
+
+    def test_vacancy_count_conserved_by_kmc(self, coupled_result):
+        _sim, res = coupled_result
+        assert len(res.vacancies_after_kmc) == len(res.vacancies_after_md)
+
+    def test_kmc_advanced_time(self, coupled_result):
+        _sim, res = coupled_result
+        assert res.kmc_time > 0
+        assert res.kmc_events > 0
+
+    def test_real_time_positive_and_huge(self, coupled_result):
+        # ps of KMC time leverage into macroscopic real time through the
+        # concentration ratio.
+        _sim, res = coupled_result
+        assert res.real_time_seconds > res.kmc_time * 1e-12
+
+    def test_occupancy_mapping(self, coupled_result):
+        sim, res = coupled_result
+        occ = sim.occupancy_from_cascade(res.cascade)
+        assert len(occ) == sim.lattice.nsites
+        assert int(np.sum(occ == VACANCY)) == len(res.cascade.vacancy_rows)
+        assert np.all(occ[res.cascade.vacancy_rows] == VACANCY)
+
+    def test_reports_present(self, coupled_result):
+        _sim, res = coupled_result
+        assert res.report_after_md.n_vacancies == len(res.vacancies_after_md)
+        assert res.report_after_kmc.n_vacancies == len(
+            res.vacancies_after_kmc
+        )
+
+    def test_deterministic(self):
+        cfg = CoupledConfig(
+            cells=6, kmc_max_events=50, table_points=1000, seed=13
+        )
+        a = CoupledSimulation(cfg).run()
+        b = CoupledSimulation(cfg).run()
+        assert np.array_equal(a.vacancies_after_kmc, b.vacancies_after_kmc)
+        assert a.kmc_time == b.kmc_time
+
+
+class TestParallelKMCStage:
+    def test_parallel_kmc_path(self):
+        sim = CoupledSimulation(
+            CoupledConfig(
+                cells=8,
+                kmc_nranks=8,
+                kmc_scheme="ondemand",
+                kmc_max_cycles=4,
+                table_points=1000,
+                seed=3,
+            )
+        )
+        res = sim.run()
+        assert res.comm_stats is not None
+        assert len(res.vacancies_after_kmc) == len(res.vacancies_after_md)

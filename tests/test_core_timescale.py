@@ -1,0 +1,71 @@
+"""Timescale formula tests — pins the paper's 19.2-day headline."""
+
+import math
+
+import pytest
+
+from repro.constants import DAY_TO_S, FE_VACANCY_FORMATION_ENERGY, KB_EV
+from repro.core.timescale import (
+    kmc_real_time,
+    paper_timescale_days,
+    real_vacancy_concentration,
+)
+
+
+class TestConcentration:
+    def test_arrhenius_form(self):
+        c = real_vacancy_concentration(formation_energy=1.0, temperature=600.0)
+        assert c == pytest.approx(math.exp(-1.0 / (KB_EV * 600.0)))
+
+    def test_higher_temperature_more_vacancies(self):
+        assert real_vacancy_concentration(
+            temperature=900.0
+        ) > real_vacancy_concentration(temperature=600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            real_vacancy_concentration(temperature=0.0)
+        with pytest.raises(ValueError):
+            real_vacancy_concentration(formation_energy=-1.0)
+
+
+class TestRealTime:
+    def test_formula_shape(self):
+        # t_real = t_threshold * C_MC / C_real.
+        c_real = real_vacancy_concentration()
+        assert kmc_real_time(1.0, 0.5) == pytest.approx(0.5 / c_real)
+
+    def test_linear_in_threshold(self):
+        assert kmc_real_time(2e-4, 2e-6) == pytest.approx(
+            2 * kmc_real_time(1e-4, 2e-6)
+        )
+
+    def test_linear_in_concentration(self):
+        assert kmc_real_time(2e-4, 4e-6) == pytest.approx(
+            2 * kmc_real_time(2e-4, 2e-6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmc_real_time(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            kmc_real_time(1.0, 2.0)
+
+    def test_paper_headline_19_2_days(self):
+        # "the temporal scale t_real is equal to 19.2 days" with
+        # t_threshold = 0.0002, C_MC = 0.000002, T = 600 K.
+        assert paper_timescale_days() == pytest.approx(19.2, abs=0.05)
+
+    def test_formation_energy_consistency(self):
+        # The constant in repro.constants was back-solved from this very
+        # relation; closing the loop here.
+        days = (
+            kmc_real_time(
+                2e-4,
+                2e-6,
+                formation_energy=FE_VACANCY_FORMATION_ENERGY,
+                temperature=600.0,
+            )
+            / DAY_TO_S
+        )
+        assert days == pytest.approx(paper_timescale_days())

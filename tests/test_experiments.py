@@ -1,0 +1,85 @@
+"""Experiment regeneration smoke/shape tests (cheap configurations).
+
+The full paper-shape assertions live in ``benchmarks/``; these tests
+verify the experiment plumbing at minimum cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig09_md_optimizations,
+    fig10_md_strong_scaling,
+    fig11_md_weak_scaling,
+    fig14_kmc_strong_scaling,
+    fig15_kmc_weak_scaling,
+    fig16_coupled_weak_scaling,
+    fig17_vacancy_clustering,
+    memory_table,
+)
+
+
+class TestModelExperiments:
+    def test_fig10_rows_and_summary(self):
+        result = fig10_md_strong_scaling.run()
+        assert len(result["rows"]) == 7
+        assert result["rows"][0]["cores"] == 97_500
+        assert result["summary"]["max_speedup"] > 1.0
+
+    def test_fig11_rows(self):
+        result = fig11_md_weak_scaling.run()
+        assert len(result["rows"]) == 7
+        assert result["rows"][-1]["cores"] == 6_656_000
+        assert result["summary"]["memory_advantage"] > 3.0
+
+    def test_fig14_superlinear_flag(self):
+        result = fig14_kmc_strong_scaling.run()
+        assert result["summary"]["superlinear_cores"]
+
+    def test_fig15_comm_growth(self):
+        result = fig15_kmc_weak_scaling.run()
+        assert result["summary"]["comm_growth_ratio"] > 1.0
+        assert result["summary"]["compute_flat_ratio"] == pytest.approx(1.0)
+
+    def test_fig16_efficiency_declines(self):
+        result = fig16_coupled_weak_scaling.run()
+        effs = [r["efficiency"] for r in result["rows"]]
+        assert effs[0] == pytest.approx(1.0)
+        assert effs[-1] < 0.95
+
+    def test_memory_table(self):
+        result = memory_table.run()
+        rows = {r["structure"]: r for r in result["rows"]}
+        assert (
+            rows["lattice_list"]["max_atoms"]
+            > rows["linked_cell"]["max_atoms"]
+            > rows["verlet_list"]["max_atoms"]
+        )
+
+
+class TestExecutedExperiments:
+    def test_fig09_small_scale(self):
+        # Tiny configuration: plumbing only (the shape bench runs at 20^3).
+        result = fig09_md_optimizations.run(
+            cells=8, cores_list=(65, 130), table_points=2000
+        )
+        assert len(result["rows"]) == 2 * 4
+        s = result["summary"]
+        assert s["traditional_dma_ops"] > s["compacted_dma_ops"]
+
+    def test_fig17_clustering_direction(self):
+        result = fig17_vacancy_clustering.run(
+            cells=8, concentration=0.02, kmc_events=800, seed=1
+        )
+        s = result["summary"]
+        assert s["max_cluster_growth"] > 1.0
+        assert s["nn_distance_shrink"] < 1.0
+        assert result["real_time_seconds"] > 0
+
+    def test_fig17_vacancy_conservation(self):
+        result = fig17_vacancy_clustering.run(
+            cells=8, concentration=0.02, kmc_events=300, seed=2
+        )
+        assert len(result["vacancies_after"]) == len(
+            result["vacancies_before"]
+        )

@@ -1,0 +1,131 @@
+"""I/O tests: XYZ, state dumps, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.io.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from repro.io.dump import dump_state, load_state
+from repro.io.xyz import read_xyz, write_vacancy_xyz, write_xyz
+from repro.lattice.bcc import BCCLattice
+from repro.md.engine import MDConfig, MDEngine
+from repro.md.state import AtomState
+
+
+class TestXYZ:
+    def test_roundtrip(self, tmp_path, lattice5):
+        path = tmp_path / "frame.xyz"
+        pos = lattice5.all_positions()[:10]
+        write_xyz(path, "Fe", pos, comment="test", lengths=lattice5.lengths)
+        symbols, read_pos = read_xyz(path)
+        assert symbols == ["Fe"] * 10
+        assert np.allclose(read_pos, pos)
+
+    def test_per_atom_symbols(self, tmp_path):
+        path = tmp_path / "frame.xyz"
+        write_xyz(path, ["Fe", "Cu"], np.zeros((2, 3)))
+        symbols, _ = read_xyz(path)
+        assert symbols == ["Fe", "Cu"]
+
+    def test_symbol_count_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="symbols"):
+            write_xyz(tmp_path / "f.xyz", ["Fe"], np.zeros((2, 3)))
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="positions"):
+            write_xyz(tmp_path / "f.xyz", "Fe", np.zeros((3, 2)))
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "traj.xyz"
+        write_xyz(path, "Fe", np.zeros((1, 3)))
+        write_xyz(path, "Fe", np.ones((1, 3)), append=True)
+        assert path.read_text().count("Fe ") == 2
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("5\ncomment\nFe 0 0 0\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_xyz(path)
+
+    def test_vacancy_dump(self, tmp_path, lattice5):
+        path = tmp_path / "vac.xyz"
+        write_vacancy_xyz(path, lattice5, np.array([3, 7, 11]))
+        symbols, pos = read_xyz(path)
+        assert symbols == ["V"] * 3
+        assert np.allclose(pos, lattice5.position_of(np.array([3, 7, 11])))
+
+    def test_vacancy_dump_empty(self, tmp_path, lattice5):
+        path = tmp_path / "vac.xyz"
+        write_vacancy_xyz(path, lattice5, np.array([], dtype=np.int64))
+        _symbols, pos = read_xyz(path)
+        assert len(pos) == 0
+
+
+class TestDump:
+    def test_state_roundtrip(self, tmp_path, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.v[:] = 0.5
+        state.make_vacancy(3)
+        path = tmp_path / "state.npz"
+        dump_state(path, state, extra={"step": np.array(42)})
+        loaded, extra = load_state(path)
+        assert np.array_equal(loaded.ids, state.ids)
+        assert np.allclose(loaded.v, state.v)
+        assert loaded.mass == state.mass
+        assert int(extra["step"]) == 42
+
+    def test_extra_key_collision_rejected(self, tmp_path, lattice5):
+        state = AtomState.perfect(lattice5)
+        with pytest.raises(ValueError, match="collides"):
+            dump_state(tmp_path / "s.npz", state, extra={"ids": np.zeros(1)})
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, format=np.array("something-else"), junk=np.zeros(1))
+        with pytest.raises(ValueError, match="not a"):
+            load_state(path)
+
+
+class TestCheckpoint:
+    def _engine_with_damage(self, potential):
+        lattice = BCCLattice(6, 6, 6)
+        engine = MDEngine(lattice, potential, MDConfig(temperature=300.0, seed=3))
+        engine.initialize()
+        engine.state.x[20] += np.array([1.5, 0.0, 0.0])
+        engine.nblist.update_runaways(engine.state, threshold=1.2)
+        engine.run(nsteps=3, displacement_threshold=1.2)
+        return engine
+
+    def test_roundtrip_restores_everything(self, tmp_path, potential):
+        engine = self._engine_with_damage(potential)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, engine)
+
+        fresh = MDEngine(
+            BCCLattice(6, 6, 6), potential, MDConfig(temperature=300.0, seed=3)
+        )
+        load_checkpoint(path, fresh)
+        assert np.array_equal(fresh.state.ids, engine.state.ids)
+        assert np.allclose(fresh.state.x, engine.state.x)
+        assert fresh._step == engine._step
+        assert fresh.nblist.n_runaways == engine.nblist.n_runaways
+
+    def test_resumed_run_matches_uninterrupted(self, tmp_path, potential):
+        # Checkpoint fidelity: resume must continue the same trajectory.
+        a = self._engine_with_damage(potential)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, a)
+        b = MDEngine(
+            BCCLattice(6, 6, 6), potential, MDConfig(temperature=300.0, seed=3)
+        )
+        load_checkpoint(path, b)
+        a.run(nsteps=3, displacement_threshold=1.2)
+        b.run(nsteps=3, displacement_threshold=1.2)
+        assert np.allclose(a.state.x, b.state.x, atol=1e-15)
+
+    def test_lattice_mismatch_rejected(self, tmp_path, potential, lattice5):
+        engine = self._engine_with_damage(potential)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, engine)
+        other = MDEngine(lattice5, potential)
+        with pytest.raises(CheckpointError, match="lattice mismatch"):
+            load_checkpoint(path, other)

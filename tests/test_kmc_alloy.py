@@ -1,0 +1,160 @@
+"""Alloy (Fe-Cu) AKMC tests: energetics, events, Cu precipitation."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusters import clustering_report
+from repro.kmc.alloy import (
+    S_CU,
+    S_FE,
+    S_VACANCY,
+    AlloyKMCModel,
+    AlloyRateParameters,
+    AlloySerialAKMC,
+)
+from repro.lattice.bcc import BCCLattice
+
+
+@pytest.fixture(scope="module")
+def alloy_model():
+    return AlloyKMCModel(BCCLattice(8, 8, 8), table_points=500)
+
+
+class TestParameters:
+    def test_cu_barrier_below_fe(self):
+        p = AlloyRateParameters()
+        assert p.e_m0(S_CU) < p.e_m0(S_FE)
+
+    def test_vacancy_has_no_barrier(self):
+        with pytest.raises(ValueError):
+            AlloyRateParameters().e_m0(S_VACANCY)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlloyRateParameters(nu=0.0)
+
+
+class TestEnergetics:
+    def test_pure_fe_matches_species_uniformity(self, alloy_model):
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        e0 = alloy_model.site_energy(0, occ)
+        e1 = alloy_model.site_energy(100, occ)
+        assert e0 == pytest.approx(e1)
+
+    def test_cu_site_differs_from_fe(self, alloy_model):
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        e_fe = alloy_model.site_energy(100, occ)
+        occ[100] = S_CU
+        e_cu = alloy_model.site_energy(100, occ)
+        assert e_cu != pytest.approx(e_fe)
+
+    def test_vacancy_site_energy_rejected(self, alloy_model):
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        occ[4] = S_VACANCY
+        with pytest.raises(ValueError, match="vacancy"):
+            alloy_model.site_energy(4, occ)
+
+    def test_cu_cu_binding_positive(self, alloy_model):
+        # The demixing thermodynamics that drive precipitation.
+        lat = alloy_model.lattice
+        base = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        adjacent = base.copy()
+        adjacent[100] = S_CU
+        adjacent[int(alloy_model.first_matrix[100][0])] = S_CU
+        apart = base.copy()
+        apart[100] = S_CU
+        apart[int(lat.rank_of(0, 4, 4, 4))] = S_CU
+        binding = alloy_model.configuration_energy(
+            apart
+        ) - alloy_model.configuration_energy(adjacent)
+        assert binding > 0.05  # well above kT = 0.052 eV at 600 K
+
+    def test_random_solution_counts(self, alloy_model):
+        occ = alloy_model.random_solution(30, 3, np.random.default_rng(0))
+        assert int(np.sum(occ == S_CU)) == 30
+        assert int(np.sum(occ == S_VACANCY)) == 3
+        assert int(np.sum(occ == S_FE)) == alloy_model.nrows - 33
+
+    def test_random_solution_validation(self, alloy_model):
+        with pytest.raises(ValueError):
+            alloy_model.random_solution(
+                alloy_model.nrows, 1, np.random.default_rng(0)
+            )
+
+
+class TestEvents:
+    def test_vacancy_in_pure_fe_has_8_events(self, alloy_model):
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        occ[100] = S_VACANCY
+        targets, rates = alloy_model.vacancy_events(100, occ)
+        assert len(targets) == 8
+        assert np.all(rates > 0)
+
+    def test_cu_hop_faster_than_fe_hop(self, alloy_model):
+        # The lower Cu barrier makes the vacancy a Cu transporter.
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        occ[100] = S_VACANCY
+        cu_site = int(alloy_model.first_matrix[100][0])
+        occ[cu_site] = S_CU
+        targets, rates = alloy_model.vacancy_events(100, occ)
+        cu_rate = float(rates[targets == cu_site][0])
+        fe_rates = rates[targets != cu_site]
+        assert cu_rate > np.max(fe_rates)
+
+    def test_swap_moves_species(self, alloy_model):
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        occ[100] = S_VACANCY
+        t = int(alloy_model.first_matrix[100][0])
+        occ[t] = S_CU
+        alloy_model.execute_swap(occ, 100, t)
+        assert occ[100] == S_CU
+        assert occ[t] == S_VACANCY
+
+    def test_invalid_swap_rejected(self, alloy_model):
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        with pytest.raises(ValueError, match="invalid swap"):
+            alloy_model.execute_swap(occ, 0, 1)
+
+    def test_requires_vacancy(self, alloy_model):
+        occ = np.full(alloy_model.nrows, S_FE, dtype=np.int8)
+        with pytest.raises(ValueError, match="vacancy"):
+            alloy_model.vacancy_events(5, occ)
+
+
+class TestPrecipitation:
+    @pytest.fixture(scope="class")
+    def evolution(self, alloy_model):
+        occ0 = alloy_model.random_solution(30, 3, np.random.default_rng(7))
+        engine = AlloySerialAKMC(alloy_model, occ0, seed=11)
+        result = engine.run(max_events=1500)
+        return occ0, result
+
+    def test_species_conserved(self, alloy_model, evolution):
+        occ0, result = evolution
+        for code in (S_VACANCY, S_FE, S_CU):
+            assert int(np.sum(result.occupancy == code)) == int(
+                np.sum(occ0 == code)
+            )
+
+    def test_time_advances(self, evolution):
+        _occ0, result = evolution
+        assert result.time > 0
+        assert result.events == 1500
+
+    def test_cu_clusters_grow(self, alloy_model, evolution):
+        occ0, result = evolution
+        lat = alloy_model.lattice
+        before = clustering_report(
+            lat, alloy_model.sites[np.flatnonzero(occ0 == S_CU)]
+        )
+        after = clustering_report(lat, result.cu_ranks)
+        # The early-precipitation signature: larger clusters, lower
+        # dispersion than the random solution.
+        assert after.max_cluster > before.max_cluster
+        assert after.mean_nn_distance < before.mean_nn_distance
+
+    def test_deterministic(self, alloy_model):
+        occ0 = alloy_model.random_solution(10, 2, np.random.default_rng(3))
+        a = AlloySerialAKMC(alloy_model, occ0, seed=5).run(max_events=50)
+        b = AlloySerialAKMC(alloy_model, occ0, seed=5).run(max_events=50)
+        assert np.array_equal(a.occupancy, b.occupancy)

@@ -1,0 +1,129 @@
+"""Sector schedule tests: geometry, strip sets, conflict-freedom."""
+
+import numpy as np
+import pytest
+
+from repro.kmc.akmc import ghost_width_cells
+from repro.kmc.events import RateParameters
+from repro.kmc.sublattice import SectorSchedule
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.domain import DomainDecomposition
+
+
+@pytest.fixture(scope="module")
+def schedules8():
+    lattice = BCCLattice(8, 8, 8)
+    decomp = DomainDecomposition(lattice, (2, 2, 2))
+    width = ghost_width_cells(lattice, RateParameters())
+    out = []
+    for rank in range(decomp.nprocs):
+        sub = decomp.subdomain(rank)
+        owned = sub.owned_site_ranks(lattice)
+        ghosts = sub.all_ghost_site_ranks(lattice, width)
+        sites = np.union1d(owned, ghosts)
+        out.append(SectorSchedule(decomp, rank, sites, width))
+    return lattice, decomp, width, out
+
+
+class TestGeometry:
+    def test_ghost_width_for_default_params(self):
+        lattice = BCCLattice(8, 8, 8)
+        assert ghost_width_cells(lattice, RateParameters()) == 2
+
+    def test_eight_sectors(self, schedules8):
+        _lat, _dec, _w, scheds = schedules8
+        assert all(s.nsectors == 8 for s in scheds)
+
+    def test_sector_rows_partition_owned(self, schedules8):
+        lattice, decomp, _w, scheds = schedules8
+        for rank, sched in enumerate(scheds):
+            owned = decomp.subdomain(rank).owned_site_ranks(lattice)
+            merged = np.sort(np.concatenate(sched.sector_rows))
+            owned_rows = np.searchsorted(sched.sites, owned)
+            assert np.array_equal(merged, np.sort(owned_rows))
+
+    def test_too_small_subdomain_rejected(self):
+        lattice = BCCLattice(4, 4, 4)
+        decomp = DomainDecomposition(lattice, (2, 2, 2))
+        sub = decomp.subdomain(0)
+        sites = np.union1d(
+            sub.owned_site_ranks(lattice),
+            sub.all_ghost_site_ranks(lattice, 2),
+        )
+        with pytest.raises(ValueError, match="2\\*width"):
+            SectorSchedule(decomp, 0, sites, 2)
+
+    def test_neighbors_deduplicated(self, schedules8):
+        _lat, _dec, _w, scheds = schedules8
+        # On a 2^3 grid every other rank is a neighbor exactly once.
+        assert scheds[0].neighbors == list(range(1, 8))
+
+
+class TestStrips:
+    def test_get_strips_pair_up(self, schedules8):
+        # My get_send to n for sector s == n's get_recv from me.
+        _lat, _dec, _w, scheds = schedules8
+        for rank, sched in enumerate(scheds):
+            for s in range(8):
+                for sc in sched.sector_comm[s]:
+                    peer = scheds[sc.neighbor]
+                    peer_sc = next(
+                        p for p in peer.sector_comm[s] if p.neighbor == rank
+                    )
+                    sent = sched.sites[sc.get_send_rows]
+                    received = peer.sites[peer_sc.get_recv_rows]
+                    assert np.array_equal(sent, received)
+
+    def test_put_strips_pair_up(self, schedules8):
+        _lat, _dec, _w, scheds = schedules8
+        for rank, sched in enumerate(scheds):
+            for s in (0, 5):
+                for sc in sched.sector_comm[s]:
+                    peer = scheds[sc.neighbor]
+                    peer_sc = next(
+                        p for p in peer.sector_comm[s] if p.neighbor == rank
+                    )
+                    assert np.array_equal(
+                        sched.sites[sc.put_send_rows],
+                        peer.sites[peer_sc.put_recv_rows],
+                    )
+
+    def test_put_strips_within_get_strips(self, schedules8):
+        # Event reach (1 cell) is a subset of the rate stencil (2 cells).
+        _lat, _dec, _w, scheds = schedules8
+        sched = scheds[0]
+        for s in range(8):
+            for sc in sched.sector_comm[s]:
+                assert set(sc.put_send_rows.tolist()) <= set(
+                    sc.get_recv_rows.tolist()
+                )
+
+    def test_concurrent_event_reach_disjoint(self, schedules8):
+        # The conflict-freedom invariant of synchronous sublattices: for
+        # each sector position, the event-reach envelopes (sector + 1
+        # cell) of different ranks never overlap.
+        lattice, decomp, _w, scheds = schedules8
+        for s in range(8):
+            envelopes = []
+            for rank in range(decomp.nprocs):
+                sector = decomp.subdomain(rank).sectors()[s]
+                env = np.union1d(
+                    sector.owned_site_ranks(lattice),
+                    sector.all_ghost_site_ranks(lattice, 1),
+                )
+                envelopes.append(set(env.tolist()))
+            for a in range(len(envelopes)):
+                for b in range(a + 1, len(envelopes)):
+                    assert envelopes[a].isdisjoint(envelopes[b]), (s, a, b)
+
+    def test_interest_rows_filter(self, schedules8):
+        _lat, decomp, w, scheds = schedules8
+        sched = scheds[0]
+        dirty = np.arange(len(sched.sites), dtype=np.int64)
+        filtered = sched.interest_rows(1, dirty)
+        interest = set(sched.interest[1].tolist())
+        assert set(sched.sites[filtered].tolist()) <= interest
+
+    def test_traditional_strip_volume_positive(self, schedules8):
+        _lat, _dec, _w, scheds = schedules8
+        assert scheds[0].traditional_strip_sites() > 0

@@ -1,0 +1,104 @@
+"""Periodic box tests (incl. hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.box import Box
+
+
+class TestConstruction:
+    def test_volume(self):
+        assert Box([2.0, 3.0, 4.0]).volume == pytest.approx(24.0)
+
+    def test_for_lattice(self):
+        lat = BCCLattice(3, 4, 5, a=2.0)
+        assert np.allclose(Box.for_lattice(lat).lengths, [6.0, 8.0, 10.0])
+
+    @pytest.mark.parametrize("bad", [[0, 1, 1], [1, -2, 1]])
+    def test_rejects_nonpositive_lengths(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            Box(bad)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            Box([1.0, 2.0])
+
+
+class TestWrap:
+    def test_wrap_inside_unchanged(self):
+        box = Box([10.0, 10.0, 10.0])
+        p = np.array([1.0, 5.0, 9.9])
+        assert np.allclose(box.wrap(p), p)
+
+    def test_wrap_negative(self):
+        box = Box([10.0, 10.0, 10.0])
+        assert np.allclose(box.wrap([-1.0, -11.0, 0.0]), [9.0, 9.0, 0.0])
+
+    def test_wrap_beyond(self):
+        box = Box([10.0, 20.0, 30.0])
+        assert np.allclose(box.wrap([15.0, 45.0, 30.0]), [5.0, 5.0, 0.0])
+
+    @given(
+        x=st.floats(-100, 100),
+        y=st.floats(-100, 100),
+        z=st.floats(-100, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_wrap_idempotent_and_in_range(self, x, y, z):
+        box = Box([7.0, 11.0, 13.0])
+        w = box.wrap([x, y, z])
+        assert np.all(w >= 0)
+        assert np.all(w < box.lengths)
+        assert np.allclose(box.wrap(w), w, atol=1e-9)
+
+
+class TestMinimumImage:
+    def test_short_vector_unchanged(self):
+        box = Box([10.0, 10.0, 10.0])
+        d = np.array([1.0, -2.0, 3.0])
+        assert np.allclose(box.minimum_image(d), d)
+
+    def test_long_vector_folded(self):
+        box = Box([10.0, 10.0, 10.0])
+        assert np.allclose(box.minimum_image([9.0, 0.0, 0.0]), [-1.0, 0.0, 0.0])
+        assert np.allclose(box.minimum_image([-6.0, 0.0, 0.0]), [4.0, 0.0, 0.0])
+
+    @given(
+        dx=st.floats(-50, 50),
+        dy=st.floats(-50, 50),
+        dz=st.floats(-50, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_minimum_image_bounds(self, dx, dy, dz):
+        box = Box([8.0, 9.0, 10.0])
+        m = box.minimum_image([dx, dy, dz])
+        assert np.all(np.abs(m) <= box.lengths / 2 + 1e-9)
+
+    @given(dx=st.floats(-50, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_minimum_image_preserves_congruence(self, dx):
+        box = Box([8.0, 8.0, 8.0])
+        m = box.minimum_image([dx, 0.0, 0.0])
+        assert (m[0] - dx) % 8.0 == pytest.approx(0.0, abs=1e-9) or (
+            m[0] - dx
+        ) % 8.0 == pytest.approx(8.0, abs=1e-9)
+
+
+class TestDistance:
+    def test_symmetric(self):
+        box = Box([10.0, 10.0, 10.0])
+        a, b = np.array([1.0, 2.0, 3.0]), np.array([9.5, 2.0, 3.0])
+        assert box.distance(a, b) == pytest.approx(box.distance(b, a))
+
+    def test_across_boundary(self):
+        box = Box([10.0, 10.0, 10.0])
+        assert box.distance([0.5, 0, 0], [9.5, 0, 0]) == pytest.approx(1.0)
+
+    def test_vectorized(self):
+        box = Box([10.0, 10.0, 10.0])
+        a = np.zeros((4, 3))
+        b = np.array([[1, 0, 0], [0, 2, 0], [0, 0, 3], [9, 0, 0]], dtype=float)
+        assert np.allclose(box.distance(a, b), [1, 2, 3, 1])

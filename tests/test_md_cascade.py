@@ -1,0 +1,130 @@
+"""Cascade (PKA) tests: defect production, conservation, validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.vacancies import conservation_check, vacancy_concentration
+from repro.constants import MVV2E
+from repro.lattice.bcc import BCCLattice
+from repro.md.cascade import CascadeConfig, insert_pka, run_cascade
+from repro.md.engine import MDConfig, MDEngine
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CascadeConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pka_energy": 0.0},
+            {"nsteps": 0},
+            {"displacement_threshold": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CascadeConfig(**kwargs)
+
+
+class TestInsertPKA:
+    def test_kinetic_energy_matches(self, lattice5):
+        from repro.md.state import AtomState
+
+        state = AtomState.perfect(lattice5)
+        cfg = CascadeConfig(pka_energy=25.0)
+        row = insert_pka(state, cfg, lattice5)
+        ke = 0.5 * state.mass * MVV2E * float(np.sum(state.v[row] ** 2))
+        assert ke == pytest.approx(25.0, rel=1e-12)
+
+    def test_default_site_near_center(self, lattice5):
+        from repro.md.state import AtomState
+
+        state = AtomState.perfect(lattice5)
+        row = insert_pka(state, CascadeConfig(), lattice5)
+        center = lattice5.lengths / 2
+        assert np.linalg.norm(state.x[row] - center) < lattice5.a * 1.5
+
+    def test_explicit_site(self, lattice5):
+        from repro.md.state import AtomState
+
+        state = AtomState.perfect(lattice5)
+        row = insert_pka(
+            state, CascadeConfig(pka_site=17), lattice5
+        )
+        assert row == 17
+
+    def test_vacancy_site_rejected(self, lattice5):
+        from repro.md.state import AtomState
+
+        state = AtomState.perfect(lattice5)
+        state.make_vacancy(17)
+        with pytest.raises(ValueError, match="vacancy"):
+            insert_pka(state, CascadeConfig(pka_site=17), lattice5)
+
+    def test_zero_direction_rejected(self, lattice5):
+        from repro.md.state import AtomState
+
+        state = AtomState.perfect(lattice5)
+        with pytest.raises(ValueError, match="direction"):
+            insert_pka(
+                state,
+                CascadeConfig(pka_direction=(0.0, 0.0, 0.0)),
+                lattice5,
+            )
+
+
+class TestCascadeRun:
+    @pytest.fixture(scope="class")
+    def cascade_result(self, potential):
+        lattice = BCCLattice(6, 6, 6)
+        engine = MDEngine(
+            lattice, potential, MDConfig(temperature=300.0, seed=3)
+        )
+        cfg = CascadeConfig(
+            pka_energy=120.0, nsteps=150, temperature=300.0,
+            displacement_threshold=1.2,
+        )
+        return engine, run_cascade(engine, cfg)
+
+    def test_produces_frenkel_pairs(self, cascade_result):
+        _engine, res = cascade_result
+        assert res.n_frenkel_pairs >= 1
+        assert len(res.vacancy_rows) >= 1
+        assert res.n_runaways >= 1
+
+    def test_vacancy_positions_are_lattice_points(self, cascade_result):
+        engine, res = cascade_result
+        expected = engine.state.site_pos[res.vacancy_rows]
+        assert np.allclose(res.vacancy_positions, expected)
+
+    def test_atom_conservation(self, cascade_result):
+        engine, _res = cascade_result
+        assert conservation_check(engine.state, engine.nblist)
+
+    def test_energy_reasonably_conserved(self, cascade_result):
+        _engine, res = cascade_result
+        e = [r.total_energy for r in res.energy_trace]
+        drift = max(abs(x - e[0]) for x in e) / abs(e[0])
+        # A cascade is violent; the tolerance is looser than NVE but the
+        # run must not blow up.
+        assert drift < 5e-3
+
+    def test_cascade_heats_lattice(self, cascade_result):
+        _engine, res = cascade_result
+        # 120 eV deposited into a 432-atom box raises T well above 300 K.
+        assert res.final_temperature > 350.0
+
+    def test_vacancy_concentration_small(self, cascade_result):
+        engine, _res = cascade_result
+        assert 0 < vacancy_concentration(engine.state) < 0.2
+
+    def test_damage_localized_near_pka(self, cascade_result):
+        engine, res = cascade_result
+        center = engine.lattice.lengths / 2
+        from repro.lattice.box import Box
+
+        box = Box.for_lattice(engine.lattice)
+        d = box.distance(center, res.vacancy_positions)
+        # All vacancies within half the box of the PKA site.
+        assert np.all(d <= engine.lattice.lengths[0] / 2 * np.sqrt(3))

@@ -1,0 +1,177 @@
+"""EAM force kernel tests: correctness, conservation, run-away paths."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.box import Box
+from repro.md.forces import (
+    PairTable,
+    build_pair_table,
+    compute_energy_forces,
+    compute_energy_forces_pairs,
+    eam_evaluate,
+    star_density,
+    star_forces,
+)
+from repro.md.neighbors.lattice_list import LatticeNeighborList
+from repro.md.neighbors.verlet_list import VerletNeighborList
+from repro.md.state import AtomState
+
+
+@pytest.fixture()
+def system(lattice5, potential):
+    state = AtomState.perfect(lattice5)
+    rng = np.random.default_rng(5)
+    state.x = state.x + rng.normal(0, 0.05, state.x.shape)
+    nbl = LatticeNeighborList(lattice5, potential.cutoff)
+    return state, nbl
+
+
+class TestPairTable:
+    def test_filters_beyond_cutoff(self, box5):
+        x = np.array([[0.0, 0, 0], [1.0, 0, 0], [8.0, 0, 0]])
+        t = PairTable.from_pairs(x, [0, 0], [1, 2], box5, cutoff=2.0)
+        assert len(t) == 1
+        assert t.r[0] == pytest.approx(1.0)
+
+    def test_empty_input(self, box5):
+        t = PairTable.from_pairs(np.zeros((2, 3)), [], [], box5, cutoff=2.0)
+        assert len(t) == 0
+
+    def test_minimum_image_applied(self, box5):
+        L = box5.lengths[0]
+        x = np.array([[0.2, 0, 0], [L - 0.2, 0, 0]])
+        t = PairTable.from_pairs(x, [0], [1], box5, cutoff=1.0)
+        assert len(t) == 1
+        assert t.r[0] == pytest.approx(0.4)
+
+
+class TestKernelCorrectness:
+    def test_matches_reference_O_n2(self, system, potential, box5):
+        state, nbl = system
+        energy = compute_energy_forces(potential, state, nbl)
+        ref_e = potential.total_energy(state.x, box5)
+        ref_f = potential.pairwise_forces(state.x, box5)
+        assert energy == pytest.approx(ref_e, rel=1e-12)
+        assert np.allclose(state.f, ref_f, atol=1e-12)
+
+    def test_rho_written_to_state(self, system, potential):
+        state, nbl = system
+        compute_energy_forces(potential, state, nbl)
+        assert np.all(state.rho[state.occupied] > 0)
+
+    def test_newtons_third_law_total_force(self, system, potential):
+        state, nbl = system
+        compute_energy_forces(potential, state, nbl)
+        assert np.allclose(state.f.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_vacancy_gets_zero_force(self, system, potential):
+        state, nbl = system
+        state.make_vacancy(13)
+        compute_energy_forces(potential, state, nbl)
+        assert np.all(state.f[13] == 0.0)
+        assert state.rho[13] == 0.0
+
+    def test_vacancy_changes_neighbor_forces(self, system, potential):
+        state, nbl = system
+        compute_energy_forces(potential, state, nbl)
+        f_before = state.f.copy()
+        state.make_vacancy(13)
+        compute_energy_forces(potential, state, nbl)
+        nbrs = nbl.neighbor_rows(13)
+        assert not np.allclose(state.f[nbrs], f_before[nbrs])
+
+    def test_empty_pairtable_returns_zero(self, potential):
+        result = eam_evaluate(potential, 3, PairTable(
+            i=np.empty(0, dtype=np.int64),
+            j=np.empty(0, dtype=np.int64),
+            d=np.empty((0, 3)),
+            r=np.empty(0),
+        ))
+        assert result.energy == 0.0
+        assert np.all(result.forces == 0.0)
+
+    def test_pairs_kernel_matches_lattice_kernel(self, system, potential, box5):
+        state, nbl = system
+        e1 = compute_energy_forces(potential, state, nbl)
+        vi, vj = VerletNeighborList(box5, potential.cutoff).pairs(state.x)
+        res = compute_energy_forces_pairs(potential, state.x, vi, vj, box5)
+        assert res.energy == pytest.approx(e1, rel=1e-12)
+        assert np.allclose(res.forces, state.f, atol=1e-12)
+
+
+class TestRunawayForces:
+    def test_runaway_participates_in_forces(self, lattice5, potential):
+        state = AtomState.perfect(lattice5)
+        nbl = LatticeNeighborList(lattice5, potential.cutoff)
+        state.x[20] += np.array([1.5, 0.0, 0.0])
+        nbl.update_runaways(state, threshold=1.2)
+        energy = compute_energy_forces(potential, state, nbl)
+        atom = nbl.runaways[0]
+        assert np.linalg.norm(atom.f) > 0
+        assert atom.rho > 0
+        # Energy must match the flat-particle reference including the
+        # off-lattice atom.
+        box = Box.for_lattice(lattice5)
+        x_all = np.vstack([state.x[state.occupied], atom.x])
+        assert energy == pytest.approx(
+            potential.total_energy(x_all, box), rel=1e-10
+        )
+
+    def test_runaway_force_reaction_on_lattice(self, lattice5, potential):
+        state = AtomState.perfect(lattice5)
+        nbl = LatticeNeighborList(lattice5, potential.cutoff)
+        state.x[20] += np.array([1.5, 0.0, 0.0])
+        nbl.update_runaways(state, threshold=1.2)
+        compute_energy_forces(potential, state, nbl)
+        total = state.f.sum(axis=0) + nbl.runaways[0].f
+        assert np.allclose(total, 0.0, atol=1e-9)
+
+    def test_pair_table_includes_runaway_pairs(self, lattice5, potential):
+        state = AtomState.perfect(lattice5)
+        nbl = LatticeNeighborList(lattice5, potential.cutoff)
+        state.x[20] += np.array([1.4, 0.0, 0.0])
+        state.x[22] += np.array([1.4, 0.2, 0.0])
+        nbl.update_runaways(state, threshold=1.2)
+        table, x, _active, runs = build_pair_table(state, nbl, potential)
+        assert len(runs) == 2
+        run_rows = {state.n, state.n + 1}
+        has_rr = any(
+            int(a) in run_rows and int(b) in run_rows
+            for a, b in zip(table.i, table.j)
+        )
+        assert has_rr
+
+
+class TestStarKernels:
+    def test_star_density_matches_pairs(self, system, potential, box5):
+        state, nbl = system
+        compute_energy_forces(potential, state, nbl)
+        centrals = np.arange(state.n)
+        rho, pair_e = star_density(
+            potential, state.x, state.occupied, centrals,
+            nbl.matrix, nbl.valid, box5,
+        )
+        assert np.allclose(rho, state.rho, atol=1e-12)
+
+    def test_star_forces_match_pairs(self, system, potential, box5):
+        state, nbl = system
+        compute_energy_forces(potential, state, nbl)
+        centrals = np.arange(state.n)
+        f = star_forces(
+            potential, state.x, state.occupied, state.rho, centrals,
+            nbl.matrix, nbl.valid, box5,
+        )
+        assert np.allclose(f, state.f, atol=1e-12)
+
+    def test_star_pair_energy_halved_correctly(self, system, potential, box5):
+        state, nbl = system
+        e_total = compute_energy_forces(potential, state, nbl)
+        centrals = np.arange(state.n)
+        _rho, pair_e = star_density(
+            potential, state.x, state.occupied, centrals,
+            nbl.matrix, nbl.valid, box5,
+        )
+        embed_e = float(np.sum(potential.embed(state.rho[state.occupied])))
+        assert pair_e + embed_e == pytest.approx(e_total, rel=1e-12)

@@ -1,0 +1,137 @@
+"""Ghost exchange tests: static plans, field transport, geometry matching."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.domain import DIRECTIONS, DomainDecomposition
+from repro.md.ghost import GhostExchanger
+from repro.runtime.simmpi import World
+
+
+@pytest.fixture(scope="module")
+def setup8():
+    lattice = BCCLattice(8, 8, 8)
+    decomp = DomainDecomposition(lattice, (2, 2, 2))
+    width = 2
+    per_rank = []
+    for rank in range(decomp.nprocs):
+        sub = decomp.subdomain(rank)
+        owned = sub.owned_site_ranks(lattice)
+        ghosts = sub.all_ghost_site_ranks(lattice, width)
+        sites = np.union1d(owned, ghosts)
+        per_rank.append((sub, owned, sites))
+    return lattice, decomp, width, per_rank
+
+
+class TestPlans:
+    def test_plans_skip_self_neighbors(self, setup8):
+        lattice, decomp, width, per_rank = setup8
+        _sub, _owned, sites = per_rank[0]
+        ex = GhostExchanger(decomp, 0, sites, width)
+        assert all(p.neighbor != 0 for p in ex.plans)
+
+    def test_single_rank_has_no_plans(self):
+        lattice = BCCLattice(8, 8, 8)
+        decomp = DomainDecomposition(lattice, (1, 1, 1))
+        sub = decomp.subdomain(0)
+        sites = sub.owned_site_ranks(lattice)
+        ex = GhostExchanger(decomp, 0, sites, 2)
+        assert ex.plans == []
+
+    def test_send_recv_row_counts_match_across_ranks(self, setup8):
+        lattice, decomp, width, per_rank = setup8
+        exchangers = [
+            GhostExchanger(decomp, r, per_rank[r][2], width)
+            for r in range(decomp.nprocs)
+        ]
+        opposite = {d: tuple(-c for c in d) for d in DIRECTIONS}
+        for r, ex in enumerate(exchangers):
+            for plan in ex.plans:
+                peer = exchangers[plan.neighbor]
+                # The peer's plan toward the opposite direction receives us.
+                peer_plan = next(
+                    p
+                    for p in peer.plans
+                    if p.direction == opposite[plan.direction]
+                    and p.neighbor == r
+                )
+                assert len(peer_plan.recv_rows) == len(plan.send_rows)
+
+    def test_missing_ranks_rejected(self, setup8):
+        lattice, decomp, width, per_rank = setup8
+        _sub, owned, _sites = per_rank[0]
+        # Sites without the ghost shell: recv rows can't be located.
+        with pytest.raises(ValueError, match="not present"):
+            GhostExchanger(decomp, 0, owned, width)
+
+
+class TestExchange:
+    def test_ghosts_receive_owner_values(self, setup8):
+        lattice, decomp, width, per_rank = setup8
+
+        def main(comm):
+            sub, owned, sites = per_rank[comm.rank]
+            ex = GhostExchanger(decomp, comm.rank, sites, width)
+            # Field = the owner rank stamped on owned rows.
+            field = np.full(len(sites), -1.0)
+            central_rows = np.searchsorted(sites, owned)
+            field[central_rows] = comm.rank
+            ex.exchange(comm, 0, [field])
+            # Every ghost row now carries its owner's stamp.
+            for row, rank_value in enumerate(field):
+                owner = decomp.owner_of_site(int(sites[row]))
+                assert rank_value == owner, (row, rank_value, owner)
+            return True
+
+        assert all(World(decomp.nprocs).run(main))
+
+    def test_vector_field_roundtrip(self, setup8):
+        lattice, decomp, width, per_rank = setup8
+        positions = lattice.all_positions()
+
+        def main(comm):
+            sub, owned, sites = per_rank[comm.rank]
+            ex = GhostExchanger(decomp, comm.rank, sites, width)
+            x = np.zeros((len(sites), 3))
+            central_rows = np.searchsorted(sites, owned)
+            x[central_rows] = positions[owned]
+            ex.exchange(comm, 0, [x])
+            # Ghost rows must equal the global positions of their sites.
+            assert np.allclose(x, positions[sites])
+            return True
+
+        assert all(World(decomp.nprocs).run(main))
+
+    def test_two_simultaneous_phases_do_not_collide(self, setup8):
+        lattice, decomp, width, per_rank = setup8
+
+        def main(comm):
+            sub, owned, sites = per_rank[comm.rank]
+            ex = GhostExchanger(decomp, comm.rank, sites, width)
+            central = np.searchsorted(sites, owned)
+            a = np.zeros(len(sites))
+            b = np.zeros(len(sites))
+            a[central] = 1.0 + comm.rank
+            b[central] = -1.0 - comm.rank
+            ex.exchange(comm, 0, [a])
+            ex.exchange(comm, 100, [b])
+            assert np.all(a[a != 0] > 0)
+            assert np.all(b[b != 0] < 0)
+            return True
+
+        assert all(World(decomp.nprocs).run(main))
+
+    def test_traffic_volume_matches_plan(self, setup8):
+        lattice, decomp, width, per_rank = setup8
+
+        def main(comm):
+            _sub, _owned, sites = per_rank[comm.rank]
+            ex = GhostExchanger(decomp, comm.rank, sites, width)
+            x = np.zeros((len(sites), 3))
+            ex.exchange(comm, 0, [x])
+            return ex.bytes_per_exchange_estimate
+
+        w = World(decomp.nprocs)
+        estimates = w.run(main)
+        assert w.stats.total_sent_bytes == sum(estimates)

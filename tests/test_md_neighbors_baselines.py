@@ -1,0 +1,173 @@
+"""Verlet-list and linked-cell baseline tests + cross-structure equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.bcc import BCCLattice
+from repro.lattice.box import Box
+from repro.md.neighbors.lattice_list import LatticeNeighborList
+from repro.md.neighbors.linked_cell import LinkedCellList
+from repro.md.neighbors.verlet_list import VerletNeighborList
+from repro.md.state import AtomState
+
+CUTOFF = 5.6
+
+
+def brute_force_pairs(box, x, cutoff):
+    """Reference O(n^2) half pair set."""
+    d = box.minimum_image(x[None, :, :] - x[:, None, :])
+    r = np.linalg.norm(d, axis=-1)
+    ii, jj = np.nonzero(np.triu(r <= cutoff, k=1))
+    return set(zip(ii.tolist(), jj.tolist()))
+
+
+def pair_set_within(box, x, i, j, cutoff):
+    d = box.minimum_image(x[j] - x[i])
+    keep = np.linalg.norm(d, axis=-1) <= cutoff
+    return set(zip(i[keep].tolist(), j[keep].tolist()))
+
+
+@pytest.fixture(scope="module")
+def crystal():
+    lat = BCCLattice(5, 5, 5)
+    box = Box.for_lattice(lat)
+    rng = np.random.default_rng(42)
+    x = lat.all_positions() + rng.normal(0, 0.06, (lat.nsites, 3))
+    return lat, box, x
+
+
+class TestVerletList:
+    def test_pairs_match_brute_force(self, crystal):
+        _lat, box, x = crystal
+        vl = VerletNeighborList(box, CUTOFF)
+        i, j = vl.pairs(x)
+        assert pair_set_within(box, x, i, j, CUTOFF) == brute_force_pairs(
+            box, x, CUTOFF
+        )
+
+    def test_no_rebuild_for_small_motion(self, crystal):
+        _lat, box, x = crystal
+        vl = VerletNeighborList(box, CUTOFF, skin=0.4)
+        vl.pairs(x)
+        builds = vl.builds
+        vl.pairs(x + 0.05)  # uniform shift below skin/2
+        assert vl.builds == builds
+
+    def test_rebuild_when_skin_exceeded(self, crystal):
+        _lat, box, x = crystal
+        vl = VerletNeighborList(box, CUTOFF, skin=0.4)
+        vl.pairs(x)
+        builds = vl.builds
+        x2 = x.copy()
+        x2[0] += 0.5  # beyond skin/2
+        vl.pairs(x2)
+        assert vl.builds == builds + 1
+
+    def test_stale_list_still_correct(self, crystal):
+        # Between rebuilds the list over-approximates; the distance filter
+        # must keep results exact.
+        _lat, box, x = crystal
+        vl = VerletNeighborList(box, CUTOFF, skin=0.6)
+        vl.pairs(x)
+        x2 = x + np.random.default_rng(1).normal(0, 0.05, x.shape)
+        if not vl.needs_rebuild(x2):
+            i, j = vl.pairs(x2)
+            assert pair_set_within(box, x2, i, j, CUTOFF) == brute_force_pairs(
+                box, x2, CUTOFF
+            )
+
+    def test_box_size_validation(self):
+        with pytest.raises(ValueError, match="too small"):
+            VerletNeighborList(Box([10.0, 10.0, 10.0]), CUTOFF)
+
+    def test_stored_pairs_include_skin(self, crystal):
+        _lat, box, x = crystal
+        vl = VerletNeighborList(box, CUTOFF, skin=0.4)
+        i, j = vl.pairs(x)
+        within = pair_set_within(box, x, i, j, CUTOFF)
+        assert vl.stored_pairs >= len(within)
+
+
+class TestLinkedCell:
+    def test_pairs_match_brute_force(self, crystal):
+        _lat, box, x = crystal
+        lc = LinkedCellList(box, CUTOFF)
+        i, j = lc.pairs(x)
+        assert set(zip(i.tolist(), j.tolist())) == brute_force_pairs(
+            box, x, CUTOFF
+        )
+
+    def test_rebuilds_every_call(self, crystal):
+        # "it should update the atoms within each cell at each time step".
+        _lat, box, x = crystal
+        lc = LinkedCellList(box, CUTOFF)
+        lc.pairs(x)
+        lc.pairs(x)
+        assert lc.rebuilds == 2
+
+    def test_linked_arrays_cover_all_atoms(self, crystal):
+        _lat, box, x = crystal
+        lc = LinkedCellList(box, CUTOFF)
+        lc.rebuild(x)
+        members = []
+        for c in range(lc.total_cells):
+            members.extend(lc.cell_members(c))
+        assert sorted(members) == list(range(len(x)))
+
+    def test_cell_members_before_build_rejected(self, crystal):
+        _lat, box, _x = crystal
+        lc = LinkedCellList(box, CUTOFF)
+        with pytest.raises(RuntimeError, match="rebuild"):
+            lc.cell_members(0)
+
+    def test_unwrapped_positions_handled(self, crystal):
+        # Positions outside [0, L) must bin correctly (wrap first).
+        _lat, box, x = crystal
+        lc = LinkedCellList(box, CUTOFF)
+        shifted = x + box.lengths  # whole box shift
+        i, j = lc.pairs(shifted)
+        assert set(zip(i.tolist(), j.tolist())) == brute_force_pairs(
+            box, x, CUTOFF
+        )
+
+
+class TestCrossStructureEquivalence:
+    """All three structures must expose the same interaction set."""
+
+    def test_three_structures_same_pairs(self, crystal):
+        lat, box, x = crystal
+        state = AtomState.perfect(lat)
+        state.x = x.copy()
+        lattice_list = LatticeNeighborList(lat, CUTOFF)
+        li, lj = lattice_list.lattice_pairs(state)
+        got_lattice = pair_set_within(box, x, li, lj, CUTOFF)
+        vi, vj = VerletNeighborList(box, CUTOFF).pairs(x)
+        got_verlet = pair_set_within(box, x, vi, vj, CUTOFF)
+        ci, cj = LinkedCellList(box, CUTOFF).pairs(x)
+        got_cell = set(zip(ci.tolist(), cj.tolist()))
+        assert got_lattice == got_verlet == got_cell
+
+    @given(seed=st.integers(0, 1000), sigma=st.floats(0.0, 0.12))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence_property_random_thermal_states(self, seed, sigma):
+        # The lattice list's exactness contract: every on-lattice atom
+        # stays within skin/2 of its site (beyond that it would be a
+        # run-away).  Clip the noise to that contract.
+        lat = BCCLattice(5, 5, 5)
+        box = Box.for_lattice(lat)
+        rng = np.random.default_rng(seed)
+        noise = rng.normal(0, sigma, (lat.nsites, 3))
+        norms = np.linalg.norm(noise, axis=1, keepdims=True)
+        cap = 0.29  # just under skin/2 = 0.3
+        scale = np.where(norms > cap, cap / np.maximum(norms, 1e-300), 1.0)
+        noise = noise * scale
+        x = lat.all_positions() + noise
+        state = AtomState.perfect(lat)
+        state.x = x.copy()
+        li, lj = LatticeNeighborList(lat, CUTOFF).lattice_pairs(state)
+        vi, vj = VerletNeighborList(box, CUTOFF).pairs(x)
+        assert pair_set_within(box, x, li, lj, CUTOFF) == pair_set_within(
+            box, x, vi, vj, CUTOFF
+        )

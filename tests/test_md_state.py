@@ -1,0 +1,128 @@
+"""Atom state array tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FE_MASS, KB_EV
+from repro.lattice.box import Box
+from repro.md.state import VACANCY_ID, AtomState
+
+
+class TestConstruction:
+    def test_perfect_occupies_all_sites(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        assert state.n == lattice5.nsites
+        assert state.natoms == lattice5.nsites
+        assert state.nvacancies == 0
+        assert np.array_equal(state.x, state.site_pos)
+
+    def test_for_sites_subsets(self, lattice5):
+        ranks = np.array([0, 5, 10])
+        state = AtomState.for_sites(lattice5, ranks)
+        assert state.n == 3
+        assert np.array_equal(state.ids, ranks)
+        assert np.allclose(state.x, lattice5.position_of(ranks))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            AtomState(np.arange(3), np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_mass_validation(self, lattice5):
+        pos = lattice5.all_positions()
+        with pytest.raises(ValueError, match="mass"):
+            AtomState(np.arange(len(pos)), pos, pos, mass=-1.0)
+
+
+class TestVacancies:
+    def test_make_vacancy(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.v[7] = [1.0, 2.0, 3.0]
+        state.make_vacancy(7)
+        assert state.ids[7] == VACANCY_ID
+        assert state.nvacancies == 1
+        assert np.array_equal(state.x[7], state.site_pos[7])
+        assert np.all(state.v[7] == 0)
+
+    def test_vacancy_rows(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        for row in (3, 17, 60):
+            state.make_vacancy(row)
+        assert np.array_equal(state.vacancy_rows(), [3, 17, 60])
+
+    def test_occupy_fills_vacancy(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.make_vacancy(5)
+        state.occupy(5, atom_id=99, x=[1, 1, 1], v=[0.1, 0, 0])
+        assert state.ids[5] == 99
+        assert state.natoms == lattice5.nsites
+
+    def test_occupy_occupied_row_rejected(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        with pytest.raises(ValueError, match="already occupied"):
+            state.occupy(0, atom_id=1, x=[0, 0, 0], v=[0, 0, 0])
+
+    def test_occupy_negative_id_rejected(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.make_vacancy(0)
+        with pytest.raises(ValueError, match="non-negative"):
+            state.occupy(0, atom_id=-3, x=[0, 0, 0], v=[0, 0, 0])
+
+
+class TestDiagnostics:
+    def test_displacement_zero_for_perfect(self, lattice5):
+        assert np.all(AtomState.perfect(lattice5).displacement() == 0)
+
+    def test_displacement_measures_offset(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.x[3] += [0.3, 0.4, 0.0]
+        assert state.displacement()[3] == pytest.approx(0.5)
+
+    def test_displacement_minimum_image(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        box = Box.for_lattice(lattice5)
+        state.x[0] = box.wrap(state.x[0] - np.array([0.2, 0, 0]))
+        assert state.displacement(box)[0] == pytest.approx(0.2)
+
+    def test_vacancies_have_zero_displacement(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.x[2] += 5.0
+        state.make_vacancy(2)
+        assert state.displacement()[2] == 0.0
+
+    def test_temperature_from_equipartition(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        rng = np.random.default_rng(0)
+        from repro.constants import thermal_velocity_sigma
+
+        sigma = thermal_velocity_sigma(600.0, FE_MASS)
+        state.v[:] = rng.normal(0, sigma, state.v.shape)
+        assert state.temperature() == pytest.approx(600.0, rel=0.1)
+
+    def test_kinetic_energy_matches_definition(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.v[0] = [1.0, 0.0, 0.0]
+        from repro.constants import MVV2E
+
+        assert state.kinetic_energy() == pytest.approx(
+            0.5 * FE_MASS * MVV2E
+        )
+
+    def test_zero_momentum(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        state.v[:] = np.random.default_rng(1).normal(0, 1, state.v.shape)
+        state.zero_momentum()
+        assert np.allclose(state.momentum(), 0.0, atol=1e-9)
+
+    def test_temperature_empty_state(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        for row in range(state.n):
+            state.make_vacancy(row)
+        assert state.temperature() == 0.0
+
+    def test_copy_is_deep(self, lattice5):
+        state = AtomState.perfect(lattice5)
+        clone = state.copy()
+        clone.x[0] = 99.0
+        clone.ids[0] = VACANCY_ID
+        assert state.x[0, 0] != 99.0
+        assert state.ids[0] == 0

@@ -1,0 +1,107 @@
+"""Traditional spline-table tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.potential.spline import SplineTable, knot_derivatives
+
+
+class TestConstruction:
+    def test_layout_shape_matches_paper(self):
+        # "Each traditional interpolation table ... is a 5000*7 2D array."
+        t = SplineTable.from_function(np.sin, 5.0, n=5000)
+        assert t.coeff.shape == (5001, 7)
+
+    def test_nbytes_about_273kb_at_5000(self):
+        t = SplineTable.from_function(np.sin, 5.0, n=5000)
+        assert t.nbytes == pytest.approx(273 * 1024, rel=0.03)
+
+    def test_rejects_2d_samples(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            SplineTable(np.zeros((3, 3)), 1.0)
+
+    def test_rejects_nonpositive_xmax(self):
+        with pytest.raises(ValueError, match="xmax"):
+            SplineTable(np.zeros(10), 0.0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            SplineTable(np.zeros(3), 1.0)
+
+
+class TestKnotDerivatives:
+    def test_five_point_formula_matches_paper(self):
+        # L[5] = (S[m-2] - S[m+2] + 8*(S[m+1] - S[m-1])) / 12 (Figure 5).
+        s = np.array([1.0, 3.0, -2.0, 5.0, 0.5, 2.0, 7.0])
+        d = knot_derivatives(s)
+        m = 3
+        expected = (s[m - 2] - s[m + 2] + 8 * (s[m + 1] - s[m - 1])) / 12
+        assert d[m] == pytest.approx(expected)
+
+    def test_exact_for_linear_data(self):
+        x = np.linspace(0, 1, 20)
+        d = knot_derivatives(3.0 * x)
+        # Derivatives are in knot units: slope * dx.
+        assert np.allclose(d, 3.0 * (x[1] - x[0]))
+
+    def test_exact_for_cubic_interior(self):
+        # The five-point formula is exact for polynomials up to degree 4.
+        x = np.linspace(0, 2, 30)
+        dx = x[1] - x[0]
+        f = x**3
+        d = knot_derivatives(f)
+        assert np.allclose(d[2:-2], 3 * x[2:-2] ** 2 * dx, atol=1e-12)
+
+
+class TestEvaluation:
+    def test_hits_knots_exactly(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=51)
+        t = SplineTable(samples, 5.0)
+        x = np.linspace(0, 5.0, 51)
+        assert np.allclose(t(x[:-1]), samples[:-1], atol=1e-12)
+
+    def test_smooth_function_interpolated_accurately(self):
+        t = SplineTable.from_function(np.sin, np.pi, n=500)
+        x = np.linspace(0.01, np.pi - 0.01, 1000)
+        assert np.max(np.abs(t(x) - np.sin(x))) < 1e-6
+
+    def test_derivative_accurate(self):
+        t = SplineTable.from_function(np.sin, np.pi, n=500)
+        x = np.linspace(0.1, np.pi - 0.1, 500)
+        assert np.max(np.abs(t.derivative(x) - np.cos(x))) < 1e-4
+
+    def test_value_and_derivative_consistent(self):
+        t = SplineTable.from_function(lambda r: r**2, 4.0, n=100)
+        x = np.linspace(0, 3.9, 77)
+        v, d = t.value_and_derivative(x)
+        assert np.allclose(v, t(x))
+        assert np.allclose(d, t.derivative(x))
+
+    def test_clamps_beyond_domain(self):
+        t = SplineTable.from_function(lambda r: r, 2.0, n=10)
+        assert t(5.0) == pytest.approx(t(2.0))
+        assert t(-1.0) == pytest.approx(t(0.0))
+
+    def test_scalar_and_array_agree(self):
+        t = SplineTable.from_function(np.cos, 3.0, n=60)
+        assert t(1.234) == pytest.approx(t(np.array([1.234]))[0])
+
+    @given(x=st.floats(0.0, 3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_continuity_property(self, x):
+        # C1 continuity: values from adjacent segments agree at knots.
+        t = SplineTable.from_function(lambda r: np.sin(2 * r), 3.0, n=30)
+        eps = 1e-9
+        left = t(max(x - eps, 0.0))
+        right = t(min(x + eps, 3.0))
+        assert abs(float(left) - float(right)) < 1e-6
+
+    def test_derivative_is_numerical_slope(self):
+        t = SplineTable.from_function(lambda r: np.exp(-r), 4.0, n=200)
+        x = np.linspace(0.5, 3.5, 40)
+        h = 1e-6
+        numerical = (t(x + h) - t(x - h)) / (2 * h)
+        assert np.allclose(t.derivative(x), numerical, atol=1e-5)

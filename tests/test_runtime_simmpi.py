@@ -1,0 +1,210 @@
+"""In-process runtime tests: messaging semantics, collectives, failure."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.simmpi import ANY_SOURCE, ANY_TAG, World
+
+
+class TestMessaging:
+    def test_ring_exchange(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            comm.send(right, tag=1, payload=comm.rank)
+            src, tag, value = comm.recv(tag=1)
+            assert src == (comm.rank - 1) % comm.size
+            return value
+
+        results = World(4).run(main)
+        assert results == [3, 0, 1, 2]
+
+    def test_fifo_per_source_and_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(1, tag=7, payload=i)
+                return None
+            received = [comm.recv(source=0, tag=7)[2] for _ in range(5)]
+            return received
+
+        assert World(2).run(main)[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selectivity(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, tag=1, payload="a")
+                comm.send(1, tag=2, payload="b")
+                return None
+            # Receive tag 2 first even though tag 1 arrived first.
+            _s, _t, b = comm.recv(source=0, tag=2)
+            _s, _t, a = comm.recv(source=0, tag=1)
+            return (a, b)
+
+        assert World(2).run(main)[1] == ("a", "b")
+
+    def test_wildcard_source(self):
+        def main(comm):
+            if comm.rank == 0:
+                got = {comm.recv(source=ANY_SOURCE, tag=3)[0] for _ in range(3)}
+                return got
+            comm.send(0, tag=3, payload=None)
+            return None
+
+        assert World(4).run(main)[0] == {1, 2, 3}
+
+    def test_send_buffering_allows_reuse(self):
+        # MPI eager semantics: mutating the buffer after send must not
+        # corrupt the message.
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.arange(5)
+                comm.send(1, tag=1, payload=buf)
+                buf[:] = -1
+                return None
+            _s, _t, data = comm.recv()
+            return data.tolist()
+
+        assert World(2).run(main)[1] == [0, 1, 2, 3, 4]
+
+    def test_send_validation(self):
+        def main(comm):
+            with pytest.raises(ValueError, match="destination"):
+                comm.send(99, tag=0)
+            with pytest.raises(ValueError, match="tag"):
+                comm.send(0, tag=-1)
+
+        World(1).run(main)
+
+    def test_no_messages_left_behind(self):
+        def main(comm):
+            comm.send((comm.rank + 1) % comm.size, tag=0, payload=b"x")
+            comm.recv(tag=0)
+
+        w = World(3)
+        w.run(main)
+        assert w.pending_messages() == 0
+
+
+class TestProbe:
+    def test_probe_reports_envelope_without_consuming(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, tag=9, payload=b"12345")
+                return None
+            status = comm.probe(source=0)
+            assert status.tag == 9
+            assert status.nbytes == 5
+            # Message still there.
+            _s, _t, data = comm.recv(source=status.source, tag=status.tag)
+            return data
+
+        assert World(2).run(main)[1] == b"12345"
+
+    def test_iprobe_nonblocking(self):
+        def main(comm):
+            if comm.rank == 0:
+                assert comm.iprobe(source=1) is None  # nothing sent yet...
+                comm.send(1, tag=1, payload=None)
+                comm.recv(source=1, tag=2)
+                return None
+            comm.recv(source=0, tag=1)
+            comm.send(0, tag=2, payload=None)
+            return None
+
+        World(2).run(main)
+
+    def test_probe_zero_size_message(self):
+        # The §2.2.1 pattern: zero-size messages still match probes.
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, tag=5, payload=np.empty(0, dtype=np.int64))
+                return None
+            status = comm.probe(source=0, tag=5)
+            assert status.nbytes == 0
+            comm.recv(source=0, tag=5)
+
+        World(2).run(main)
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        results = World(5).run(lambda comm: comm.allreduce(comm.rank))
+        assert results == [10] * 5
+
+    def test_allreduce_min_max(self):
+        def main(comm):
+            return (
+                comm.allreduce(comm.rank + 3, op="min"),
+                comm.allreduce(comm.rank + 3, op="max"),
+            )
+
+        assert World(4).run(main) == [(3, 6)] * 4
+
+    def test_allreduce_arrays_elementwise(self):
+        def main(comm):
+            v = np.array([comm.rank, 1.0])
+            return comm.allreduce(v)
+
+        for out in World(3).run(main):
+            assert np.allclose(out, [3.0, 3.0])
+
+    def test_allreduce_unknown_op(self):
+        def main(comm):
+            with pytest.raises(ValueError, match="op"):
+                comm.allreduce(1, op="median")
+
+        World(2).run(main)
+
+    def test_allgather_ordered_by_rank(self):
+        results = World(4).run(lambda comm: comm.allgather(comm.rank * 10))
+        assert results == [[0, 10, 20, 30]] * 4
+
+    def test_bcast(self):
+        def main(comm):
+            return comm.bcast("hello" if comm.rank == 2 else None, root=2)
+
+        assert World(4).run(main) == ["hello"] * 4
+
+    def test_bcast_bad_root(self):
+        def main(comm):
+            with pytest.raises(ValueError, match="root"):
+                comm.bcast(1, root=9)
+
+        World(2).run(main)
+
+    def test_barrier_many_rounds(self):
+        # Reusability of the barrier across many generations.
+        def main(comm):
+            for _ in range(20):
+                comm.barrier()
+            return True
+
+        assert all(World(6).run(main))
+
+
+class TestFailures:
+    def test_error_propagates_and_unblocks(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.recv()  # would deadlock without abort
+
+        with pytest.raises(RuntimeError, match="boom"):
+            World(3).run(main)
+
+    def test_error_during_collective_unblocks(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("bad rank")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="bad rank"):
+            World(3).run(main)
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError, match="nranks"):
+            World(0)
+
+    def test_results_indexed_by_rank(self):
+        results = World(7).run(lambda comm: comm.rank**2)
+        assert results == [r**2 for r in range(7)]

@@ -1,0 +1,114 @@
+"""Traffic accounting and payload sizing tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.netmodel import NetworkModel
+from repro.runtime.simmpi import World
+from repro.runtime.stats import TrafficStats, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numpy_exact(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+        assert payload_nbytes(np.zeros((4, 3), dtype=np.int32)) == 48
+
+    def test_bytes_exact(self):
+        assert payload_nbytes(b"abcde") == 5
+
+    def test_scalars(self):
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes(1.5) == 8
+        assert payload_nbytes(np.float64(2.0)) == 8
+
+    def test_containers_sum(self):
+        payload = (np.zeros(2), [np.zeros(3), b"xy"])
+        assert payload_nbytes(payload) == 16 + 24 + 2
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_nbytes({1: np.zeros(1)}) == 16
+
+    def test_unpicklable_fallback(self):
+        import threading
+
+        assert payload_nbytes(threading.Lock()) == 64
+
+
+class TestTrafficStats:
+    def test_record_send_accumulates(self):
+        stats = TrafficStats(2)
+        stats.record_send(0, 1, 100)
+        stats.record_send(0, 1, 50)
+        assert stats.total_sent_bytes == 150
+        assert stats.total_messages == 2
+
+    def test_comm_time_uses_network_model(self):
+        net = NetworkModel(alpha=1e-6, beta=1e-9, contention_coeff=0.0)
+        stats = TrafficStats(2, network=net)
+        stats.record_send(0, 1, 1000)
+        assert stats.ranks[0].comm_time == pytest.approx(1e-6 + 1000e-9)
+
+    def test_collective_charged_to_all_ranks(self):
+        stats = TrafficStats(4)
+        stats.record_collective(8)
+        assert stats.total_collectives == 4
+        assert all(c.comm_time > 0 for c in stats.ranks)
+
+    def test_reset(self):
+        stats = TrafficStats(2)
+        stats.record_send(0, 1, 10)
+        stats.reset()
+        assert stats.total_sent_bytes == 0
+        assert stats.max_comm_time == 0.0
+
+    def test_snapshot_keys(self):
+        snap = TrafficStats(3).snapshot()
+        assert set(snap) == {
+            "nranks",
+            "total_sent_bytes",
+            "total_messages",
+            "total_collectives",
+            "max_comm_time",
+            "mean_comm_time",
+        }
+
+    def test_world_counts_real_traffic(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, tag=0, payload=np.zeros(100))
+            else:
+                comm.recv()
+
+        w = World(2)
+        w.run(main)
+        assert w.stats.total_sent_bytes == 800
+        assert w.stats.ranks[1].recv_bytes == 800
+
+
+class TestNetworkModel:
+    def test_point_to_point_components(self):
+        net = NetworkModel(alpha=2e-6, beta=1e-9)
+        assert net.point_to_point(0) == pytest.approx(2e-6)
+        assert net.point_to_point(1000) == pytest.approx(2e-6 + 1e-6)
+
+    def test_contention_inflates_beta(self):
+        net = NetworkModel(alpha=0.0, beta=1e-9, contention_coeff=0.1)
+        assert net.point_to_point(1000, nranks=1024) > net.point_to_point(
+            1000, nranks=2
+        )
+
+    def test_collective_scales_logarithmically(self):
+        net = NetworkModel()
+        t4 = net.collective(4)
+        t256 = net.collective(256)
+        assert t256 == pytest.approx(4 * t4, rel=0.3)
+
+    def test_single_rank_collective_free(self):
+        assert NetworkModel().collective(1) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().point_to_point(-1)

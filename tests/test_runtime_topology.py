@@ -1,0 +1,68 @@
+"""Cartesian topology tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.topology import CartesianTopology
+
+
+class TestCoords:
+    def test_roundtrip_all_ranks(self):
+        topo = CartesianTopology((2, 3, 4))
+        for r in range(topo.nranks):
+            assert topo.rank(topo.coords(r)) == r
+
+    def test_wrapping(self):
+        topo = CartesianTopology((3, 3, 3))
+        assert topo.rank((3, 0, 0)) == topo.rank((0, 0, 0))
+        assert topo.rank((-1, 0, 0)) == topo.rank((2, 0, 0))
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ValueError):
+            CartesianTopology((2, 2, 2)).coords(8)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            CartesianTopology((0, 2, 2))
+
+    @given(
+        px=st.integers(1, 4),
+        py=st.integers(1, 4),
+        pz=st.integers(1, 4),
+        dx=st.integers(-2, 2),
+        dy=st.integers(-2, 2),
+        dz=st.integers(-2, 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shift_invertible(self, px, py, pz, dx, dy, dz):
+        topo = CartesianTopology((px, py, pz))
+        there = topo.shift(0, (dx, dy, dz))
+        back = topo.shift(there, (-dx, -dy, -dz))
+        assert back == 0
+
+
+class TestNeighbors:
+    def test_26_directions(self):
+        topo = CartesianTopology((3, 3, 3))
+        nbrs = topo.neighbors(13)
+        assert len(nbrs) == 26
+
+    def test_face_neighbors_only(self):
+        topo = CartesianTopology((3, 3, 3))
+        nbrs = topo.neighbors(0, include_diagonals=False)
+        assert len(nbrs) == 6
+
+    def test_distinct_neighbors_on_3cube(self):
+        topo = CartesianTopology((3, 3, 3))
+        assert len(topo.distinct_neighbors(0)) == 26
+
+    def test_distinct_neighbors_alias_on_small_grid(self):
+        # On a 2^3 grid all 7 other ranks are neighbors, many directions
+        # aliasing onto the same rank.
+        topo = CartesianTopology((2, 2, 2))
+        assert topo.distinct_neighbors(0) == set(range(1, 8))
+
+    def test_self_excluded_from_distinct(self):
+        topo = CartesianTopology((1, 1, 2))
+        assert 0 not in topo.distinct_neighbors(0)

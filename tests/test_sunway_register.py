@@ -1,0 +1,142 @@
+"""Register-communication mesh tests (§2.1.2 alternative + §5 proposal)."""
+
+import numpy as np
+import pytest
+
+from repro.sunway.arch import SunwayArch
+from repro.sunway.localstore import LocalStoreOverflow
+from repro.sunway.register import (
+    MESH_COLS,
+    MESH_ROWS,
+    DistributedTable,
+    OneSidedRegisterProtocol,
+    RegisterMesh,
+    TwoSidedRegisterProtocol,
+    lookup_strategy_comparison,
+)
+
+
+class TestMeshTopology:
+    def test_coords_roundtrip(self):
+        for cpe in range(64):
+            r, c = RegisterMesh.coords(cpe)
+            assert r * MESH_COLS + c == cpe
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterMesh.coords(64)
+
+    def test_self_is_zero_hops(self):
+        assert RegisterMesh.hops_between(20, 20) == 0
+
+    def test_row_and_column_are_one_hop(self):
+        assert RegisterMesh.hops_between(0, 5) == 1  # same row
+        assert RegisterMesh.hops_between(0, 56) == 1  # same column
+
+    def test_diagonal_is_two_hops(self):
+        assert RegisterMesh.hops_between(0, 9) == 2
+        assert RegisterMesh.hops_between(0, 63) == 2
+
+    def test_symmetric(self):
+        for a, b in [(3, 17), (0, 63), (8, 9)]:
+            assert RegisterMesh.hops_between(a, b) == RegisterMesh.hops_between(
+                b, a
+            )
+
+
+class TestTransferPricing:
+    def test_self_transfer_free(self):
+        mesh = RegisterMesh()
+        assert mesh.transfer_time(5, 5, 1000) == 0.0
+
+    def test_two_hop_costs_double(self):
+        mesh = RegisterMesh()
+        one = mesh.transfer_time(0, 1, 32)
+        two = mesh.transfer_time(0, 9, 32)
+        assert two == pytest.approx(2 * one)
+
+    def test_packets_rounded_up(self):
+        mesh = RegisterMesh()
+        t33 = mesh.transfer_time(0, 1, 33)  # needs 2 packets
+        t32 = mesh.transfer_time(0, 1, 32)
+        assert t33 == pytest.approx(2 * t32)
+
+    def test_stats_accumulate(self):
+        mesh = RegisterMesh()
+        mesh.transfer_time(0, 1, 64)
+        mesh.sync_round_time(64)
+        assert mesh.stats.transfers == 1
+        assert mesh.stats.bytes == 64
+        assert mesh.stats.sync_rounds == 1
+        mesh.reset()
+        assert mesh.stats.transfers == 0
+
+    def test_validation(self):
+        mesh = RegisterMesh()
+        with pytest.raises(ValueError):
+            mesh.transfer_time(0, 1, -1)
+        with pytest.raises(ValueError):
+            mesh.sync_round_time(0)
+
+
+class TestDistributedTable:
+    def test_sharding_covers_table(self):
+        table = DistributedTable(200_000)
+        owners = {table.owner_of(o) for o in range(0, 200_000, 7919)}
+        assert owners  # several segments across CPEs
+        assert table.owner_of(0) == 0
+
+    def test_aggregate_capacity_enforced(self):
+        # 64 CPEs x 24 KB free = 1.5 MB aggregate; more must fail.
+        with pytest.raises(LocalStoreOverflow):
+            DistributedTable(3 * 1024 * 1024)
+
+    def test_reserve_must_leave_room(self):
+        with pytest.raises(LocalStoreOverflow):
+            DistributedTable(1000, reserve_bytes=64 * 1024)
+
+    def test_offset_validation(self):
+        table = DistributedTable(1000)
+        with pytest.raises(ValueError):
+            table.owner_of(1000)
+
+    def test_three_fecu_table_sets_fit_distributed(self):
+        # The paper's alloy problem: 3 x ~117 KB of compacted tables
+        # cannot fit ONE local store but shard comfortably over 64.
+        DistributedTable(3 * 3 * 40008)  # 9 tables ~ 352 KB
+
+
+class TestStrategyComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return lookup_strategy_comparison(lookups=500)
+
+    def test_resident_is_free(self, comparison):
+        assert comparison["resident"] == 0.0
+
+    def test_onesided_register_beats_dma(self, comparison):
+        # The §5 thesis: one-sided register communication would beat the
+        # per-lookup DMA path.
+        assert comparison["register_onesided"] < comparison["dma"]
+
+    def test_twosided_register_loses_to_dma(self, comparison):
+        # Why the paper rejected the distribution approach with the
+        # existing two-sided interface.
+        assert comparison["register_twosided"] > comparison["dma"]
+
+    def test_full_ordering_tells_papers_story(self, comparison):
+        assert (
+            comparison["resident"]
+            < comparison["register_onesided"]
+            < comparison["dma"]
+            < comparison["register_twosided"]
+        )
+
+    def test_protocols_price_batches_consistently(self):
+        table = DistributedTable(100_000)
+        offsets = np.array([0, 50_000, 99_999])
+        one = OneSidedRegisterProtocol(table, RegisterMesh())
+        two = TwoSidedRegisterProtocol(table, RegisterMesh())
+        t1 = one.batch_time(27, offsets, 40)
+        t2 = two.batch_time(27, offsets, 40)
+        assert t2 > t1  # sync rounds always cost extra
