@@ -6,11 +6,40 @@ figure's data series, and asserts the DESIGN.md shape criteria.
 
 Expensive executed experiments (Figs 12/13 share runs; Fig 9 shares the
 kernel ladder) are cached per session.
+
+Set ``REPRO_BENCH_PHASES=<dir>`` to additionally run every benchmark
+under the :mod:`repro.observe` registry and write a machine-readable
+per-phase JSON (phases, counters, gauges) next to the wall-clock
+numbers, one file per test.  Left unset, observation stays disabled so
+the timed hot paths pay nothing.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+from pathlib import Path
+
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def bench_phase_report(request):
+    """Per-test observe registry + JSON dump, gated on REPRO_BENCH_PHASES."""
+    outdir = os.environ.get("REPRO_BENCH_PHASES")
+    if not outdir:
+        yield
+        return
+    from repro import observe as obs
+
+    with obs.observing(trace=False) as registry:
+        yield
+    path = Path(outdir)
+    path.mkdir(parents=True, exist_ok=True)
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+    with open(path / f"{name}.json", "w", encoding="utf-8") as fh:
+        json.dump(registry.summary(), fh, indent=1)
 
 
 def print_rows(title: str, rows, columns) -> None:

@@ -34,6 +34,25 @@ FIGURES = {
 }
 
 
+#: Smallest box the MD neighbor machinery accepts (cells per axis).
+MIN_CELLS = 5
+
+
+def _add_observe_flags(parser) -> None:
+    """The shared profiling/tracing options of the run commands."""
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the observed phase tree and counters after the run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace JSON (chrome://tracing / Perfetto)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -51,6 +70,29 @@ def build_parser() -> argparse.ArgumentParser:
     coupled.add_argument("--events", type=int, default=500)
     coupled.add_argument("--temperature", type=float, default=600.0)
     coupled.add_argument("--seed", type=int, default=2018)
+    coupled.add_argument(
+        "--md-steps",
+        type=int,
+        default=None,
+        help="MD cascade steps (default: the CascadeConfig default)",
+    )
+    coupled.add_argument(
+        "--kmc-ranks",
+        type=int,
+        default=None,
+        help=(
+            "run the KMC stage on the parallel engine with N ranks "
+            "(0 forces the serial engine; default: serial, or 1 rank "
+            "when profiling so the trace covers the runtime layer)"
+        ),
+    )
+    coupled.add_argument(
+        "--kmc-cycles",
+        type=int,
+        default=50,
+        help="parallel-KMC cycle budget (with --kmc-ranks)",
+    )
+    _add_observe_flags(coupled)
 
     cascade = sub.add_parser("cascade", help="run one MD cascade")
     cascade.add_argument("--cells", type=int, default=6)
@@ -58,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     cascade.add_argument("--steps", type=int, default=150)
     cascade.add_argument("--temperature", type=float, default=300.0)
     cascade.add_argument("--seed", type=int, default=3)
+    _add_observe_flags(cascade)
 
     schemes = sub.add_parser(
         "kmc-schemes", help="compare parallel-KMC communication schemes"
@@ -67,11 +110,46 @@ def build_parser() -> argparse.ArgumentParser:
     schemes.add_argument("--cycles", type=int, default=8)
     schemes.add_argument("--vacancies", type=int, default=20)
     schemes.add_argument("--seed", type=int, default=5)
+    _add_observe_flags(schemes)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", choices=sorted(FIGURES))
+    _add_observe_flags(figure)
 
     return parser
+
+
+def _profiling_requested(args) -> bool:
+    return bool(getattr(args, "profile", False) or getattr(args, "trace", None))
+
+
+def _start_observation(args):
+    """Activate a fresh registry when ``--profile``/``--trace`` ask for one."""
+    if not _profiling_requested(args):
+        return None
+    from repro import observe as obs
+
+    return obs.enable()
+
+
+def _finish_observation(args, registry) -> None:
+    """Render/export the observation collected by a run command."""
+    if registry is None:
+        return
+    from repro import observe as obs
+
+    obs.disable()
+    if args.profile:
+        print()
+        print(obs.format_report(registry))
+    if args.trace:
+        try:
+            obs.write_chrome_trace(registry, args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(1) from exc
+        print(f"\ntrace written to {args.trace} (open in chrome://tracing)")
 
 
 def cmd_info() -> int:
@@ -102,13 +180,42 @@ def cmd_info() -> int:
 
 def cmd_coupled(args) -> int:
     from repro.core.coupling import CoupledConfig, CoupledSimulation
+    from repro.md.cascade import CascadeConfig
 
+    profiling = _profiling_requested(args)
+    cells = args.cells
+    if cells < MIN_CELLS:
+        print(
+            f"note: --cells raised from {cells} to {MIN_CELLS} "
+            "(minimum box for the MD cutoff)"
+        )
+        cells = MIN_CELLS
+    kmc_nranks = args.kmc_ranks
+    if kmc_nranks is None and profiling:
+        # Route the KMC stage through the parallel engine so the profile
+        # covers the simulated-MPI runtime layer too (override with
+        # --kmc-ranks 0 to keep the serial BKL engine).
+        kmc_nranks = 1
+        print("note: profiling runs the KMC stage on the parallel engine "
+              "(1 rank); pass --kmc-ranks 0 to force the serial engine")
+    if kmc_nranks == 0:
+        kmc_nranks = None
+    cascade_cfg = None
+    if args.md_steps is not None:
+        cascade_cfg = CascadeConfig(
+            temperature=args.temperature, nsteps=args.md_steps
+        )
+    registry = _start_observation(args)
     sim = CoupledSimulation(
         CoupledConfig(
-            cells=args.cells,
+            cells=cells,
             temperature=args.temperature,
+            cascade=cascade_cfg,
             kmc_max_events=args.events,
+            kmc_nranks=kmc_nranks,
+            kmc_max_cycles=args.kmc_cycles,
             seed=args.seed,
+            sunway_model=profiling,
         )
     )
     print(f"coupled MD-KMC over {sim.lattice.nsites} sites ...")
@@ -119,6 +226,14 @@ def cmd_coupled(args) -> int:
         f"{result.kmc_events} events over {result.kmc_time:.3g} ps "
         f"-> {result.real_time_seconds:.3g} s real time"
     )
+    if result.sunway_report is not None:
+        sw = result.sunway_report
+        print(
+            f"modeled SW26010 force step ({sw['strategy']}): "
+            f"{sw['modeled_step_time_s']:.3g} s, "
+            f"{sw['dma_operations']:,} DMA ops / {sw['dma_bytes']:,} B"
+        )
+    _finish_observation(args, registry)
     return 0
 
 
@@ -128,6 +243,7 @@ def cmd_cascade(args) -> int:
     from repro.md.engine import MDConfig, MDEngine
     from repro.potential.fe import make_fe_potential
 
+    registry = _start_observation(args)
     engine = MDEngine(
         BCCLattice(args.cells, args.cells, args.cells),
         make_fe_potential(n=2000),
@@ -147,6 +263,7 @@ def cmd_cascade(args) -> int:
         f"({result.n_frenkel_pairs} Frenkel pairs); "
         f"final T {result.final_temperature:.0f} K"
     )
+    _finish_observation(args, registry)
     return 0
 
 
@@ -166,6 +283,7 @@ def cmd_kmc_schemes(args) -> int:
         args.vacancies,
         np.random.default_rng(args.seed),
     )
+    registry = _start_observation(args)
     reference = None
     print(f"{'scheme':>12} {'events':>7} {'bytes':>12} {'messages':>9}")
     for scheme in ("traditional", "ondemand", "onesided"):
@@ -188,18 +306,22 @@ def cmd_kmc_schemes(args) -> int:
             reference = result.occupancy
         elif not np.array_equal(result.occupancy, reference):
             print("ERROR: schemes diverged", file=sys.stderr)
+            _finish_observation(args, registry)
             return 1
     print("all schemes produced identical trajectories")
+    _finish_observation(args, registry)
     return 0
 
 
 def cmd_figure(args) -> int:
     import importlib
 
+    registry = _start_observation(args)
     module = importlib.import_module(
         f"repro.experiments.{FIGURES[args.id]}"
     )
     module.main()
+    _finish_observation(args, registry)
     return 0
 
 

@@ -19,14 +19,15 @@ simulates the defect evolution and vacancies clustering."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe as obs
 from repro.core.clusters import ClusteringReport, clustering_report
 from repro.core.timescale import kmc_real_time
 from repro.kmc.akmc import ParallelAKMC, SerialAKMC
-from repro.kmc.events import ATOM, VACANCY, KMCModel, RateParameters
+from repro.kmc.events import ATOM, VACANCY, RateParameters
 from repro.lattice.bcc import BCCLattice
 from repro.md.cascade import CascadeConfig, CascadeResult, run_cascade
 from repro.md.engine import MDConfig, MDEngine
@@ -68,6 +69,12 @@ class CoupledConfig:
         (the standard cascade-annealing capture radius; ``None`` disables
         recombination and every MD vacancy survives, as in the base
         pipeline).
+    sunway_model:
+        When ``True`` an extra pipeline stage prices one EAM force step
+        of the post-cascade state on the Sunway SW26010 machine model
+        (best optimization rung of Figure 9), attaching the modeled
+        kernel time and DMA inventory to the result — the modeled
+        hardware cost next to the host cost.
     """
 
     cells: int = 8
@@ -81,6 +88,7 @@ class CoupledConfig:
     seed: int = 2018
     table_points: int = 2000
     recombination_radius: float | None = None
+    sunway_model: bool = False
 
     def __post_init__(self) -> None:
         if self.cells < 5:
@@ -135,6 +143,8 @@ class CoupledResult:
     kmc_events: int
     real_time_seconds: float
     comm_stats: dict | None = None
+    #: Modeled SW26010 cost of one post-cascade EAM step (when enabled).
+    sunway_report: dict | None = None
 
 
 class CoupledSimulation:
@@ -151,16 +161,49 @@ class CoupledSimulation:
         )
         self.potential = potential or make_fe_potential(n=self.config.table_points)
 
-    def run_md_stage(self) -> CascadeResult:
-        """Stage 1-2: thermalize and run the cascade."""
+    def _build_md_engine(self) -> MDEngine:
+        """Stage 1: construct the MD engine over the lattice."""
         cfg = self.config
-        cascade_cfg = cfg.cascade or CascadeConfig(temperature=cfg.temperature)
-        engine = MDEngine(
+        return MDEngine(
             self.lattice,
             self.potential,
             MDConfig(temperature=cfg.temperature, seed=cfg.seed),
         )
-        return run_cascade(engine, cascade_cfg)
+
+    def run_md_stage(self) -> CascadeResult:
+        """Stage 1-2: thermalize and run the cascade."""
+        cfg = self.config
+        cascade_cfg = cfg.cascade or CascadeConfig(temperature=cfg.temperature)
+        return run_cascade(self._build_md_engine(), cascade_cfg)
+
+    def model_sunway_step(self, engine: MDEngine) -> dict:
+        """Optional stage: price one EAM step on the SW26010 machine model.
+
+        Uses the fully optimized kernel variant (compacted table + data
+        reuse + double buffering) over the engine's current state, so a
+        profiled coupled run reports the modeled hardware cost of its MD
+        force step alongside the measured host cost.
+        """
+        from repro.sunway.arch import SunwayArch
+        from repro.sunway.kernel import STRATEGY_LADDER, BlockedEAMKernel
+
+        kernel = BlockedEAMKernel(
+            SunwayArch(),
+            self.potential,
+            STRATEGY_LADDER[-1],
+            table_points=self.config.table_points,
+        )
+        report = kernel.run_step(engine.state, engine.nblist)
+        return {
+            "strategy": report.strategy.name,
+            "modeled_step_time_s": report.total_time,
+            "modeled_compute_time_s": report.compute_time,
+            "modeled_dma_time_s": report.dma_time,
+            "dma_operations": report.dma.operations,
+            "dma_bytes": report.dma.total_bytes,
+            "interactions": report.interactions,
+            "natoms": report.natoms,
+        }
 
     def occupancy_from_cascade(self, cascade: CascadeResult) -> np.ndarray:
         """Stage 3: map MD damage onto the KMC site array.
@@ -204,26 +247,49 @@ class CoupledSimulation:
         return engine.run(occupancy, max_cycles=cfg.kmc_max_cycles)
 
     def run(self) -> CoupledResult:
-        """Execute the full pipeline and assemble the result."""
-        cascade = self.run_md_stage()
-        occ0 = self.occupancy_from_cascade(cascade)
-        vac_md = np.flatnonzero(occ0 == VACANCY)
-        kmc = self.run_kmc_stage(occ0)
-        c_mc = len(vac_md) / self.lattice.nsites
-        # KMC clock runs in ps; the timescale formula takes seconds.
-        real_seconds = kmc_real_time(
-            t_threshold=kmc.time * 1e-12,
-            c_mc=c_mc,
-            temperature=self.config.temperature,
-        )
+        """Execute the full pipeline and assemble the result.
+
+        The five stages of the Figure 7 pipeline each run under their own
+        observation phase (``coupled.setup`` .. ``coupled.analysis``), so
+        a profiled run shows exactly where the coupled wall clock goes.
+        """
+        cfg = self.config
+        with obs.phase("coupled.pipeline"):
+            with obs.phase("coupled.setup"):
+                engine = self._build_md_engine()
+                cascade_cfg = cfg.cascade or CascadeConfig(
+                    temperature=cfg.temperature
+                )
+            with obs.phase("coupled.cascade"):
+                cascade = run_cascade(engine, cascade_cfg)
+            sunway_report = None
+            if cfg.sunway_model:
+                with obs.phase("coupled.sunway_model"):
+                    sunway_report = self.model_sunway_step(engine)
+            with obs.phase("coupled.map_damage"):
+                occ0 = self.occupancy_from_cascade(cascade)
+                vac_md = np.flatnonzero(occ0 == VACANCY)
+            with obs.phase("coupled.kmc"):
+                kmc = self.run_kmc_stage(occ0)
+            with obs.phase("coupled.analysis"):
+                c_mc = len(vac_md) / self.lattice.nsites
+                # KMC clock runs in ps; the timescale formula takes seconds.
+                real_seconds = kmc_real_time(
+                    t_threshold=kmc.time * 1e-12,
+                    c_mc=c_mc,
+                    temperature=cfg.temperature,
+                )
+                report_md = clustering_report(self.lattice, vac_md)
+                report_kmc = clustering_report(self.lattice, kmc.vacancy_ranks)
         return CoupledResult(
             cascade=cascade,
             vacancies_after_md=vac_md,
             vacancies_after_kmc=kmc.vacancy_ranks,
-            report_after_md=clustering_report(self.lattice, vac_md),
-            report_after_kmc=clustering_report(self.lattice, kmc.vacancy_ranks),
+            report_after_md=report_md,
+            report_after_kmc=report_kmc,
             kmc_time=kmc.time,
             kmc_events=kmc.events,
             real_time_seconds=real_seconds,
             comm_stats=kmc.comm_stats,
+            sunway_report=sunway_report,
         )

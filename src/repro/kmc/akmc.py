@@ -19,11 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe as obs
 from repro.kmc.comm import ExchangeScheme, TraditionalExchange
-from repro.kmc.events import ATOM, VACANCY, KMCModel, RateParameters
+from repro.kmc.events import VACANCY, KMCModel, RateParameters
 from repro.kmc.ondemand import OnDemandExchange
 from repro.kmc.onesided import OneSidedExchange
-from repro.kmc.rng import global_rng, sector_rng
+from repro.kmc.rng import sector_rng
 from repro.kmc.sublattice import SectorSchedule
 from repro.lattice.bcc import BCCLattice
 from repro.lattice.domain import DomainDecomposition, choose_grid
@@ -122,28 +123,31 @@ class SerialAKMC:
         influence radius of each executed swap, so a step costs O(events
         affected) instead of O(all vacancies).
         """
-        vrows = self.vacancy_rows
-        all_v: list[int] = []
-        all_t: list[int] = []
-        all_r: list[float] = []
-        for v in vrows:
-            iv = int(v)
-            if iv not in self._rate_cache:
-                self._rate_cache[iv] = self.model.vacancy_events(iv, self.occ)
-            targets, rates = self._rate_cache[iv]
-            all_v.extend([iv] * len(targets))
-            all_t.extend(int(t) for t in targets)
-            all_r.extend(float(r) for r in rates)
+        with obs.phase("kmc.rate_update"):
+            vrows = self.vacancy_rows
+            all_v: list[int] = []
+            all_t: list[int] = []
+            all_r: list[float] = []
+            for v in vrows:
+                iv = int(v)
+                if iv not in self._rate_cache:
+                    self._rate_cache[iv] = self.model.vacancy_events(iv, self.occ)
+                targets, rates = self._rate_cache[iv]
+                all_v.extend([iv] * len(targets))
+                all_t.extend(int(t) for t in targets)
+                all_r.extend(float(r) for r in rates)
         if not all_r:
             return None
-        rates = np.asarray(all_r)
-        total = float(rates.sum())
-        dt = -math.log(self.rng.random()) / total
-        pick = np.searchsorted(np.cumsum(rates), self.rng.random() * total)
-        pick = min(pick, len(rates) - 1)
-        self.model.execute_swap(self.occ, all_v[pick], all_t[pick])
-        for row in self.model.influence_rows([all_v[pick], all_t[pick]]):
-            self._rate_cache.pop(int(row), None)
+        with obs.phase("kmc.event_selection"):
+            rates = np.asarray(all_r)
+            total = float(rates.sum())
+            dt = -math.log(self.rng.random()) / total
+            pick = np.searchsorted(np.cumsum(rates), self.rng.random() * total)
+            pick = min(pick, len(rates) - 1)
+            self.model.execute_swap(self.occ, all_v[pick], all_t[pick])
+            for row in self.model.influence_rows([all_v[pick], all_t[pick]]):
+                self._rate_cache.pop(int(row), None)
+        obs.add("kmc.events")
         self.time += dt
         self.events += 1
         return dt
@@ -260,63 +264,68 @@ class ParallelAKMC:
             cycle = 0
             events = 0
             while cycle < max_cycles and (t_threshold is None or t < t_threshold):
-                # "#1: Compute dt for the subdomain" + global time sync —
-                # the collective the weak-scaling analysis blames.  The
-                # cycle step derives from the reference rate (the hop rate
-                # at the nominal barrier) times the busiest rank's vacancy
-                # count x 8 candidate hops.  It depends only on owned-site
-                # occupancy — guaranteed current under every communication
-                # scheme — so all schemes draw identical dt.
-                nv_local = int(np.count_nonzero(occ[central_rows] == VACANCY))
-                nv_max = comm.allreduce(nv_local, op="max")
-                if nv_max == 0:
-                    break
-                dt = 1.0 / (rate_bound * nv_max)
-                for s in range(schedule.nsectors):
-                    scheme.before_sector(s)
-                    rng = sector_rng(seed, comm.rank, cycle, s)
-                    dirty: list[int] = []
-                    t_sector = 0.0
-                    rows_s = schedule.sector_rows[s]
-                    # Rate cache for this sector pass; invalidated within
-                    # the influence radius of each swap.  (Ghost refreshes
-                    # happened before this pass, so cached rates stay
-                    # valid between events.)
-                    cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-                    while True:
-                        vrows = rows_s[occ[rows_s] == VACANCY]
-                        ev_v: list[int] = []
-                        ev_t: list[int] = []
-                        ev_r: list[float] = []
-                        for v in vrows:
-                            iv = int(v)
-                            if iv not in cache:
-                                cache[iv] = model.vacancy_events(iv, occ)
-                            targets, rates = cache[iv]
-                            ev_v.extend([iv] * len(targets))
-                            ev_t.extend(int(x) for x in targets)
-                            ev_r.extend(float(r) for r in rates)
-                        if not ev_r:
-                            break
-                        rates = np.asarray(ev_r)
-                        total = float(rates.sum())
-                        t_sector += -math.log(rng.random()) / total
-                        if t_sector > dt:
-                            break
-                        pick = np.searchsorted(
-                            np.cumsum(rates), rng.random() * total
-                        )
-                        pick = min(pick, len(rates) - 1)
-                        model.execute_swap(occ, ev_v[pick], ev_t[pick])
-                        for row in model.influence_rows(
-                            [ev_v[pick], ev_t[pick]]
-                        ):
-                            cache.pop(int(row), None)
-                        dirty.extend((ev_v[pick], ev_t[pick]))
-                        events += 1
-                    scheme.after_sector(s, np.asarray(dirty, dtype=np.int64))
-                t += dt
-                cycle += 1
+                with obs.phase("kmc.cycle"):
+                    # "#1: Compute dt for the subdomain" + global time sync —
+                    # the collective the weak-scaling analysis blames.  The
+                    # cycle step derives from the reference rate (the hop rate
+                    # at the nominal barrier) times the busiest rank's vacancy
+                    # count x 8 candidate hops.  It depends only on owned-site
+                    # occupancy — guaranteed current under every communication
+                    # scheme — so all schemes draw identical dt.
+                    nv_local = int(np.count_nonzero(occ[central_rows] == VACANCY))
+                    with obs.phase("kmc.dt_sync"):
+                        nv_max = comm.allreduce(nv_local, op="max")
+                    if nv_max == 0:
+                        break
+                    dt = 1.0 / (rate_bound * nv_max)
+                    for s in range(schedule.nsectors):
+                        scheme.before_sector(s)
+                        rng = sector_rng(seed, comm.rank, cycle, s)
+                        dirty: list[int] = []
+                        t_sector = 0.0
+                        rows_s = schedule.sector_rows[s]
+                        # Rate cache for this sector pass; invalidated within
+                        # the influence radius of each swap.  (Ghost refreshes
+                        # happened before this pass, so cached rates stay
+                        # valid between events.)
+                        cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+                        while True:
+                            with obs.phase("kmc.rate_update"):
+                                vrows = rows_s[occ[rows_s] == VACANCY]
+                                ev_v: list[int] = []
+                                ev_t: list[int] = []
+                                ev_r: list[float] = []
+                                for v in vrows:
+                                    iv = int(v)
+                                    if iv not in cache:
+                                        cache[iv] = model.vacancy_events(iv, occ)
+                                    targets, rates = cache[iv]
+                                    ev_v.extend([iv] * len(targets))
+                                    ev_t.extend(int(x) for x in targets)
+                                    ev_r.extend(float(r) for r in rates)
+                            if not ev_r:
+                                break
+                            with obs.phase("kmc.event_selection"):
+                                rates = np.asarray(ev_r)
+                                total = float(rates.sum())
+                                t_sector += -math.log(rng.random()) / total
+                                if t_sector > dt:
+                                    break
+                                pick = np.searchsorted(
+                                    np.cumsum(rates), rng.random() * total
+                                )
+                                pick = min(pick, len(rates) - 1)
+                                model.execute_swap(occ, ev_v[pick], ev_t[pick])
+                                for row in model.influence_rows(
+                                    [ev_v[pick], ev_t[pick]]
+                                ):
+                                    cache.pop(int(row), None)
+                                dirty.extend((ev_v[pick], ev_t[pick]))
+                                obs.add("kmc.events")
+                                events += 1
+                        scheme.after_sector(s, np.asarray(dirty, dtype=np.int64))
+                    t += dt
+                    cycle += 1
             scheme.finalize()
             total_events = comm.allreduce(events)
             return {

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro import observe as obs
 from repro.kmc.sublattice import SectorSchedule
 
 #: Tag bases of the exchange phases (sector index 0..7 is added).
@@ -60,18 +61,19 @@ class TraditionalExchange(ExchangeScheme):
 
     def before_sector(self, sector: int) -> None:
         """Get phase: refresh our sector's ghost strips from their owners."""
-        plans = self.schedule.sector_comm[sector]
-        for sc in plans:
-            self.comm.send(
-                sc.neighbor,
-                TAG_GET + sector,
-                self.occ[sc.get_send_rows].astype(np.int32),
-            )
-        for sc in plans:
-            _src, _tag, data = self.comm.recv(
-                source=sc.neighbor, tag=TAG_GET + sector
-            )
-            self.occ[sc.get_recv_rows] = data.astype(self.occ.dtype)
+        with obs.phase("kmc.ghost_sync"):
+            plans = self.schedule.sector_comm[sector]
+            for sc in plans:
+                self.comm.send(
+                    sc.neighbor,
+                    TAG_GET + sector,
+                    self.occ[sc.get_send_rows].astype(np.int32),
+                )
+            for sc in plans:
+                _src, _tag, data = self.comm.recv(
+                    source=sc.neighbor, tag=TAG_GET + sector
+                )
+                self.occ[sc.get_recv_rows] = data.astype(self.occ.dtype)
 
     def after_sector(self, sector: int, dirty_rows: np.ndarray) -> None:
         """Put phase: return (possibly modified) ghost strips to owners.
@@ -80,15 +82,16 @@ class TraditionalExchange(ExchangeScheme):
         updated or not" — that is the redundancy the on-demand strategy
         removes; ``dirty_rows`` is deliberately ignored here.
         """
-        plans = self.schedule.sector_comm[sector]
-        for sc in plans:
-            self.comm.send(
-                sc.neighbor,
-                TAG_PUT + sector,
-                self.occ[sc.put_send_rows].astype(np.int32),
-            )
-        for sc in plans:
-            _src, _tag, data = self.comm.recv(
-                source=sc.neighbor, tag=TAG_PUT + sector
-            )
-            self.occ[sc.put_recv_rows] = data.astype(self.occ.dtype)
+        with obs.phase("kmc.ghost_sync"):
+            plans = self.schedule.sector_comm[sector]
+            for sc in plans:
+                self.comm.send(
+                    sc.neighbor,
+                    TAG_PUT + sector,
+                    self.occ[sc.put_send_rows].astype(np.int32),
+                )
+            for sc in plans:
+                _src, _tag, data = self.comm.recv(
+                    source=sc.neighbor, tag=TAG_PUT + sector
+                )
+                self.occ[sc.put_recv_rows] = data.astype(self.occ.dtype)

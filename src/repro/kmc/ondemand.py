@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observe as obs
 from repro.kmc.comm import ExchangeScheme, TAG_ONDEMAND
 
 
@@ -60,19 +61,22 @@ class OnDemandExchange(ExchangeScheme):
         """No get phase: ghosts are kept current by the after phases."""
 
     def after_sector(self, sector: int, dirty_rows: np.ndarray) -> None:
-        sched = self.schedule
-        dirty_rows = np.asarray(dirty_rows, dtype=np.int64)
-        for n in sched.neighbors:
-            rows = sched.interest_rows(n, dirty_rows)
-            # A message goes to every neighbor — zero-size when clean —
-            # because the two-sided receive must be matched.
-            self.comm.send(
-                n, TAG_ONDEMAND + sector, pack_updates(sched.sites, self.occ, rows)
-            )
-        for n in sched.neighbors:
-            # The paper's receive protocol: probe for the runtime-determined
-            # envelope, then post the actual receive.
-            status = self.comm.probe(source=n, tag=TAG_ONDEMAND + sector)
-            _src, _tag, payload = self.comm.recv(source=n, tag=status.tag)
-            ranks, values = payload
-            apply_updates(sched.sites, self.occ, ranks, values)
+        with obs.phase("kmc.ghost_sync"):
+            sched = self.schedule
+            dirty_rows = np.asarray(dirty_rows, dtype=np.int64)
+            for n in sched.neighbors:
+                rows = sched.interest_rows(n, dirty_rows)
+                # A message goes to every neighbor — zero-size when clean —
+                # because the two-sided receive must be matched.
+                self.comm.send(
+                    n,
+                    TAG_ONDEMAND + sector,
+                    pack_updates(sched.sites, self.occ, rows),
+                )
+            for n in sched.neighbors:
+                # The paper's receive protocol: probe for the
+                # runtime-determined envelope, then post the actual receive.
+                status = self.comm.probe(source=n, tag=TAG_ONDEMAND + sector)
+                _src, _tag, payload = self.comm.recv(source=n, tag=status.tag)
+                ranks, values = payload
+                apply_updates(sched.sites, self.occ, ranks, values)

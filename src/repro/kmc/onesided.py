@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observe as obs
 from repro.kmc.comm import ExchangeScheme
 from repro.kmc.ondemand import apply_updates, pack_updates
 from repro.kmc.sublattice import SectorSchedule
@@ -34,14 +35,15 @@ class OneSidedExchange(ExchangeScheme):
         """No get phase; the epoch fence after each sector keeps ghosts current."""
 
     def after_sector(self, sector: int, dirty_rows: np.ndarray) -> None:
-        sched = self.schedule
-        dirty_rows = np.asarray(dirty_rows, dtype=np.int64)
-        for n in sched.neighbors:
-            rows = sched.interest_rows(n, dirty_rows)
-            if len(rows) == 0:
-                # The one-sided advantage: a clean neighbor costs nothing.
-                continue
-            self.window.put(n, pack_updates(sched.sites, self.occ, rows))
-        for _origin, payload in self.window.fence():
-            ranks, values = payload
-            apply_updates(sched.sites, self.occ, ranks, values)
+        with obs.phase("kmc.ghost_sync"):
+            sched = self.schedule
+            dirty_rows = np.asarray(dirty_rows, dtype=np.int64)
+            for n in sched.neighbors:
+                rows = sched.interest_rows(n, dirty_rows)
+                if len(rows) == 0:
+                    # The one-sided advantage: a clean neighbor costs nothing.
+                    continue
+                self.window.put(n, pack_updates(sched.sites, self.occ, rows))
+            for _origin, payload in self.window.fence():
+                ranks, values = payload
+                apply_updates(sched.sites, self.occ, ranks, values)

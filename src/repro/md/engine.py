@@ -15,10 +15,11 @@ the serial/parallel equivalence tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe as obs
 from repro.constants import FM2A
 from repro.lattice.bcc import BCCLattice
 from repro.lattice.box import Box
@@ -102,10 +103,11 @@ class MDEngine:
 
     def initialize(self, temperature: float | None = None) -> None:
         """Thermal velocities + initial forces (call before :meth:`run`)."""
-        t = self.config.temperature if temperature is None else temperature
-        rng = np.random.default_rng(self.config.seed)
-        maxwell_boltzmann_velocities(self.state, t, rng)
-        compute_energy_forces(self.potential, self.state, self.nblist)
+        with obs.phase("md.initialize"):
+            t = self.config.temperature if temperature is None else temperature
+            rng = np.random.default_rng(self.config.seed)
+            maxwell_boltzmann_velocities(self.state, t, rng)
+            compute_energy_forces(self.potential, self.state, self.nblist)
 
     def run(
         self,
@@ -126,19 +128,32 @@ class MDEngine:
         integ = VelocityVerlet(dt if dt is not None else self.config.dt)
         new_records: list[StepRecord] = []
         for _ in range(nsteps):
-            integ.first_half(self.state, self.nblist)
-            self._wrap_positions()
-            if (
-                displacement_threshold is not None
-                and self._step % runaway_check_interval == 0
-            ):
-                self.nblist.update_runaways(self.state, displacement_threshold)
-            epot = compute_energy_forces(self.potential, self.state, self.nblist)
-            integ.second_half(self.state, self.nblist)
-            if thermostat_target is not None:
-                berendsen_rescale(
-                    self.state, thermostat_target, integ.dt, self.config.thermostat_tau
-                )
+            with obs.phase("md.step"):
+                with obs.phase("md.integrate"):
+                    integ.first_half(self.state, self.nblist)
+                    self._wrap_positions()
+                if (
+                    displacement_threshold is not None
+                    and self._step % runaway_check_interval == 0
+                ):
+                    with obs.phase("md.neighbor"):
+                        self.nblist.update_runaways(
+                            self.state, displacement_threshold
+                        )
+                with obs.phase("md.force"):
+                    epot = compute_energy_forces(
+                        self.potential, self.state, self.nblist
+                    )
+                with obs.phase("md.integrate"):
+                    integ.second_half(self.state, self.nblist)
+                if thermostat_target is not None:
+                    with obs.phase("md.thermostat"):
+                        berendsen_rescale(
+                            self.state,
+                            thermostat_target,
+                            integ.dt,
+                            self.config.thermostat_tau,
+                        )
             rec = StepRecord(
                 step=self._step,
                 potential_energy=epot,
@@ -272,34 +287,51 @@ class ParallelMD:
             energy_trace: list[float] = []
 
             def eam_step() -> float:
-                ex.exchange(comm, TAG_POSITIONS, [state.x])
-                rho_c, pair_e = star_density(
-                    pot, state.x, occ, central_rows, nblist.matrix, nblist.valid, box
-                )
-                state.rho[central_rows] = rho_c
-                ex.exchange(comm, TAG_DENSITY, [state.rho])
-                f_c = star_forces(
-                    pot,
-                    state.x,
-                    occ,
-                    state.rho,
-                    central_rows,
-                    nblist.matrix,
-                    nblist.valid,
-                    box,
-                )
-                forces[central_rows] = f_c
-                embed_e = float(np.sum(pot.embed(state.rho[central_rows])))
+                with obs.phase("md.ghost_exchange"):
+                    ex.exchange(comm, TAG_POSITIONS, [state.x])
+                with obs.phase("md.force"):
+                    rho_c, pair_e = star_density(
+                        pot,
+                        state.x,
+                        occ,
+                        central_rows,
+                        nblist.matrix,
+                        nblist.valid,
+                        box,
+                    )
+                    state.rho[central_rows] = rho_c
+                with obs.phase("md.ghost_exchange"):
+                    ex.exchange(comm, TAG_DENSITY, [state.rho])
+                with obs.phase("md.force"):
+                    f_c = star_forces(
+                        pot,
+                        state.x,
+                        occ,
+                        state.rho,
+                        central_rows,
+                        nblist.matrix,
+                        nblist.valid,
+                        box,
+                    )
+                    forces[central_rows] = f_c
+                    embed_e = float(np.sum(pot.embed(state.rho[central_rows])))
                 return pair_e + embed_e
 
             local_e = eam_step()
             for _ in range(nsteps):
-                state.v[central_rows] += 0.5 * dt * fm * forces[central_rows]
-                state.x[central_rows] += dt * state.v[central_rows]
-                state.x[central_rows] = box.wrap(state.x[central_rows])
-                local_e = eam_step()
-                state.v[central_rows] += 0.5 * dt * fm * forces[central_rows]
-                energy_trace.append(comm.allreduce(local_e))
+                with obs.phase("md.step"):
+                    with obs.phase("md.integrate"):
+                        state.v[central_rows] += (
+                            0.5 * dt * fm * forces[central_rows]
+                        )
+                        state.x[central_rows] += dt * state.v[central_rows]
+                        state.x[central_rows] = box.wrap(state.x[central_rows])
+                    local_e = eam_step()
+                    with obs.phase("md.integrate"):
+                        state.v[central_rows] += (
+                            0.5 * dt * fm * forces[central_rows]
+                        )
+                    energy_trace.append(comm.allreduce(local_e))
             return {
                 "owned": owned,
                 "x": state.x[central_rows].copy(),

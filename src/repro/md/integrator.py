@@ -8,7 +8,6 @@ coordinates and the velocity of the atoms").  Operates on
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.constants import FM2A
 from repro.md.neighbors.lattice_list import LatticeNeighborList

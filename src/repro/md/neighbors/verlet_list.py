@@ -55,7 +55,6 @@ class VerletNeighborList:
         implementations do.
         """
         x = self.box.wrap(np.asarray(x, dtype=float))
-        n = len(x)
         reach = self.cutoff + self.skin
         i_idx, j_idx = _cell_pairs(self.box, x, reach)
         if len(i_idx):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.constants import KB_EV, thermal_velocity_sigma
+from repro.constants import thermal_velocity_sigma
 from repro.md.state import AtomState
 
 

@@ -1,0 +1,54 @@
+"""Unified observability spine: phase timers, counters, trace export.
+
+Every execution layer of the reproduction — the MD engines, the AKMC
+drivers and their communication schemes, the simulated-MPI runtime, and
+the Sunway machine model — emits through this package:
+
+* ``with obs.phase("md.force"):`` times a (nested, per-thread) phase;
+* ``obs.add("runtime.sent_bytes", n)`` bumps a named counter;
+* ``obs.set_gauge("sunway.athread.imbalance", r)`` records a level.
+
+Observation is **disabled by default**: without an active
+:class:`Registry` each call is one global load and a ``None`` check, so
+instrumented hot paths stay as fast as uninstrumented ones.  Activate
+with :func:`enable`/:func:`disable` or the :func:`observing` context
+manager; render with :func:`format_report` (plain-text phase tree) or
+:func:`write_chrome_trace` (``chrome://tracing`` / Perfetto JSON).
+
+Dotted phase/counter names carry the subsystem as their first component
+(``md``, ``kmc``, ``runtime``, ``sunway``, ``coupled``); the runtime
+nesting of ``phase`` blocks — not the dots — defines the tree.
+"""
+
+from repro.observe.api import (
+    NULL_PHASE,
+    active,
+    add,
+    disable,
+    enable,
+    enabled,
+    observing,
+    phase,
+    set_gauge,
+)
+from repro.observe.registry import PhaseStat, Registry, TraceEvent
+from repro.observe.report import format_report
+from repro.observe.trace import chrome_trace, write_chrome_trace
+
+__all__ = [
+    "NULL_PHASE",
+    "PhaseStat",
+    "Registry",
+    "TraceEvent",
+    "active",
+    "add",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "enabled",
+    "format_report",
+    "observing",
+    "phase",
+    "set_gauge",
+    "write_chrome_trace",
+]

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.potential.compact import CompactTable
 from repro.potential.eam import TableSet
 from repro.potential.fe import FeParameters, make_fe_tables
 

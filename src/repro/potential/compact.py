@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.potential.spline import SplineTable, knot_derivatives
+from repro.potential.spline import SplineTable
 
 
 class CompactTable:

@@ -151,7 +151,6 @@ class EAMPotential:
         through the neighbor structures in :mod:`repro.md`.
         """
         pos = np.asarray(positions, dtype=float)
-        n = len(pos)
         delta = pos[None, :, :] - pos[:, None, :]
         if box is not None:
             delta = box.minimum_image(delta)
@@ -164,7 +163,6 @@ class EAMPotential:
     def pairwise_forces(self, positions: np.ndarray, box=None) -> np.ndarray:
         """Reference O(N^2) forces of a small configuration (eV/A)."""
         pos = np.asarray(positions, dtype=float)
-        n = len(pos)
         delta = pos[None, :, :] - pos[:, None, :]  # delta[i, j] = r_j - r_i
         if box is not None:
             delta = box.minimum_image(delta)

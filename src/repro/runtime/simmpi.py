@@ -29,6 +29,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import observe as obs
 from repro.runtime.netmodel import NetworkModel
 from repro.runtime.stats import TrafficStats, payload_nbytes
 
@@ -36,9 +37,6 @@ from repro.runtime.stats import TrafficStats, payload_nbytes
 ANY_SOURCE: int = -1
 #: Wildcard tag.
 ANY_TAG: int = -1
-
-#: Seconds a blocked receive waits between abort-flag checks.
-_POLL_INTERVAL = 0.02
 
 
 class WorldAborted(RuntimeError):
@@ -86,7 +84,13 @@ class _Mailbox:
         return None
 
     def take(self, source: int, tag: int, abort: threading.Event):
-        """Blocking consume of the first matching message."""
+        """Blocking consume of the first matching message.
+
+        Waits on the mailbox condition without a polling timeout: a
+        matching :meth:`deposit` or a world abort (:meth:`wake_all`)
+        delivers the wakeup directly, so a blocked receive adds no
+        scheduling-interval floor to the latency.
+        """
         with self._cond:
             while True:
                 idx = self._match_index(source, tag)
@@ -94,7 +98,7 @@ class _Mailbox:
                     return self._queue.pop(idx)
                 if abort.is_set():
                     raise WorldAborted("world aborted while waiting in recv")
-                self._cond.wait(timeout=_POLL_INTERVAL)
+                self._cond.wait()
 
     def peek(self, source: int, tag: int, abort: threading.Event):
         """Blocking probe of the first matching message (not consumed)."""
@@ -105,7 +109,12 @@ class _Mailbox:
                     return self._queue[idx]
                 if abort.is_set():
                     raise WorldAborted("world aborted while waiting in probe")
-                self._cond.wait(timeout=_POLL_INTERVAL)
+                self._cond.wait()
+
+    def wake_all(self) -> None:
+        """Wake every blocked waiter (abort path; they re-check the flag)."""
+        with self._cond:
+            self._cond.notify_all()
 
     def try_peek(self, source: int, tag: int):
         """Non-blocking probe; returns the message tuple or ``None``."""
@@ -173,17 +182,19 @@ class RankComm:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns ``(source, tag, payload)``."""
-        src, t, payload, nbytes = self.world.mailboxes[self.rank].take(
-            source, tag, self.world.abort
-        )
+        with obs.phase("runtime.recv"):
+            src, t, payload, nbytes = self.world.mailboxes[self.rank].take(
+                source, tag, self.world.abort
+            )
         self.world.stats.record_recv(self.rank, nbytes)
         return src, t, payload
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: envelope of the next matching message."""
-        src, t, _payload, nbytes = self.world.mailboxes[self.rank].peek(
-            source, tag, self.world.abort
-        )
+        with obs.phase("runtime.probe"):
+            src, t, _payload, nbytes = self.world.mailboxes[self.rank].peek(
+                source, tag, self.world.abort
+            )
         return Status(source=src, tag=t, nbytes=nbytes)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
@@ -201,13 +212,15 @@ class RankComm:
         """Synchronize all ranks."""
         if self.rank == 0:
             self.world.stats.record_collective(0)
-        self.world.collectives.wait()
+        with obs.phase("runtime.collective"):
+            self.world.collectives.wait()
 
     def allgather(self, value) -> list:
         """Every rank contributes ``value``; all get the list by rank."""
         if self.rank == 0:
             self.world.stats.record_collective(payload_nbytes(value))
-        return self.world.collectives.exchange(self.rank, _freeze(value))
+        with obs.phase("runtime.collective"):
+            return self.world.collectives.exchange(self.rank, _freeze(value))
 
     def allreduce(self, value, op: str = "sum"):
         """Reduce ``value`` across ranks with ``op`` in {sum, min, max}.
@@ -299,8 +312,7 @@ class World:
             except BaseException as exc:  # noqa: BLE001 - must cross threads
                 with self._error_lock:
                     self._errors.append((rank, exc))
-                self.abort.set()
-                self.collectives.barrier.abort()
+                self.abort_world()
 
         for rank in range(self.nranks):
             t = threading.Thread(
@@ -311,8 +323,7 @@ class World:
         for t in threads:
             t.join(timeout=timeout)
         if any(t.is_alive() for t in threads):
-            self.abort.set()
-            self.collectives.barrier.abort()
+            self.abort_world()
             for t in threads:
                 t.join(timeout=5.0)
             raise TimeoutError(f"world of {self.nranks} ranks timed out")
@@ -320,6 +331,18 @@ class World:
             rank, exc = self._errors[0]
             raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
         return results
+
+    def abort_world(self) -> None:
+        """Abort all ranks: unblock collectives and every waiting mailbox.
+
+        The abort flag is raised *before* the mailbox conditions are
+        notified, and waiters re-check the flag while holding their
+        condition lock — so no blocked rank can miss the wakeup.
+        """
+        self.abort.set()
+        self.collectives.barrier.abort()
+        for mb in self.mailboxes:
+            mb.wake_all()
 
     def pending_messages(self) -> int:
         """Messages deposited but never received (should be 0 after run)."""

@@ -4,6 +4,11 @@ Every message the runtime carries is recorded here: count, payload bytes,
 and modeled time (via :class:`~repro.runtime.netmodel.NetworkModel`).
 These measurements are the data behind the Figure 12 (communication
 volume) and Figure 13 (communication time) reproductions.
+
+:class:`TrafficStats` doubles as a backend of the unified
+:mod:`repro.observe` spine: with observation enabled, every recorded
+send/recv/collective is mirrored into the active registry's
+``runtime.*`` counters, so traffic and phase timings land in one place.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe as obs
 from repro.runtime.netmodel import NetworkModel
 
 
@@ -21,27 +27,47 @@ def payload_nbytes(obj) -> int:
     """Wire size of a message payload in bytes.
 
     NumPy arrays and raw byte strings are counted exactly (the runtime
-    moves them by reference, mimicking MPI's buffer sends); structured
+    moves them by reference, mimicking MPI's buffer sends); numpy scalars
+    cost one 8-byte word like their Python counterparts; structured
     payloads of arrays are summed; anything else is costed at its pickled
-    size.
+    size.  Pickled sizes are memoized on ``id()`` within one message, so
+    a payload repeating the same object pays for one ``pickle.dumps``.
     """
+    return _payload_nbytes(obj, None)
+
+
+def _payload_nbytes(obj, memo: dict[int, int] | None) -> int:
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
-    if isinstance(obj, (int, float, bool, np.integer, np.floating)):
+    if isinstance(obj, (int, float, bool, np.integer, np.floating, np.bool_)):
         return 8
     if isinstance(obj, (tuple, list)):
-        return sum(payload_nbytes(x) for x in obj)
+        if memo is None:
+            memo = {}
+        return sum(_payload_nbytes(x, memo) for x in obj)
     if isinstance(obj, dict):
-        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+        if memo is None:
+            memo = {}
+        return sum(
+            _payload_nbytes(k, memo) + _payload_nbytes(v, memo)
+            for k, v in obj.items()
+        )
+    if memo is not None:
+        cached = memo.get(id(obj))
+        if cached is not None:
+            return cached
     try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        nbytes = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
         # Unpicklable control-plane objects are costed as an envelope.
-        return 64
+        nbytes = 64
+    if memo is not None:
+        memo[id(obj)] = nbytes
+    return nbytes
 
 
 @dataclass
@@ -85,12 +111,19 @@ class TrafficStats:
             c.sent_messages += 1
             c.sent_bytes += nbytes
             c.comm_time += t
+        if obs.enabled():
+            obs.add("runtime.sent_messages")
+            obs.add("runtime.sent_bytes", nbytes)
+            obs.add("runtime.comm_time_modeled_s", t)
 
     def record_recv(self, dst: int, nbytes: int) -> None:
         with self._lock:
             c = self.ranks[dst]
             c.recv_messages += 1
             c.recv_bytes += nbytes
+        if obs.enabled():
+            obs.add("runtime.recv_messages")
+            obs.add("runtime.recv_bytes", nbytes)
 
     def record_collective(self, nbytes: int = 8) -> None:
         """Record one collective; charged to every rank."""
@@ -99,6 +132,9 @@ class TrafficStats:
             for c in self.ranks:
                 c.collectives += 1
                 c.comm_time += t
+        if obs.enabled():
+            obs.add("runtime.collectives")
+            obs.add("runtime.comm_time_modeled_s", t * self.nranks)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -146,6 +182,23 @@ class TrafficStats:
                     else 0.0
                 ),
             }
+
+    def publish(self, registry=None, prefix: str = "runtime") -> None:
+        """Push the aggregate counters into an observe registry.
+
+        The live path already mirrors every ``record_*`` call into the
+        active registry; this method additionally lets a caller dump the
+        totals of a world that ran *before* observation was enabled
+        (gauges, so re-publishing does not double-count).
+        """
+        registry = registry if registry is not None else obs.active()
+        if registry is None:
+            return
+        snap = self.snapshot()
+        registry.set_gauge(f"{prefix}.world.sent_messages", snap["total_messages"])
+        registry.set_gauge(f"{prefix}.world.sent_bytes", snap["total_sent_bytes"])
+        registry.set_gauge(f"{prefix}.world.collectives", snap["total_collectives"])
+        registry.set_gauge(f"{prefix}.world.max_comm_time_s", snap["max_comm_time"])
 
     def reset(self) -> None:
         """Zero all counters (e.g. after a warm-up phase)."""

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from itertools import product
 
-import numpy as np
 
 
 class CartesianTopology:

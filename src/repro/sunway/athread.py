@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe as obs
+
 
 @dataclass(frozen=True)
 class SlabPartition:
@@ -62,4 +64,13 @@ class AthreadPool:
     @staticmethod
     def team_time(slab_times: list[float]) -> float:
         """Wall time of one synchronized pass: the slowest slab."""
-        return max(slab_times, default=0.0)
+        slowest = max(slab_times, default=0.0)
+        if obs.enabled() and slab_times:
+            obs.add("sunway.athread.team_passes")
+            obs.add("sunway.athread.team_time_modeled_s", slowest)
+            mean = sum(slab_times) / len(slab_times)
+            obs.set_gauge(
+                "sunway.athread.imbalance",
+                slowest / mean if mean > 0 else 1.0,
+            )
+        return slowest

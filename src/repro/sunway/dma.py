@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observe as obs
 from repro.sunway.arch import SunwayArch
 
 
@@ -57,6 +58,10 @@ class DMAEngine:
         self.stats.gets += count
         self.stats.get_bytes += count * nbytes
         self.stats.time += t
+        if obs.enabled():
+            obs.add("sunway.dma.gets", count)
+            obs.add("sunway.dma.get_bytes", count * nbytes)
+            obs.add("sunway.dma.time_modeled_s", t)
         return t
 
     def put(self, nbytes: int, count: int = 1) -> float:
@@ -67,6 +72,10 @@ class DMAEngine:
         self.stats.puts += count
         self.stats.put_bytes += count * nbytes
         self.stats.time += t
+        if obs.enabled():
+            obs.add("sunway.dma.puts", count)
+            obs.add("sunway.dma.put_bytes", count * nbytes)
+            obs.add("sunway.dma.time_modeled_s", t)
         return t
 
     def reset(self) -> None:

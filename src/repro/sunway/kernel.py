@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observe as obs
 from repro.md.forces import star_density, star_forces
 from repro.md.neighbors.lattice_list import LatticeNeighborList
 from repro.md.state import AtomState
@@ -213,6 +214,20 @@ class BlockedEAMKernel:
         restricts the step to a row slice (one core group's share when an
         experiment models several CGs).
         """
+        with obs.phase("sunway.kernel"):
+            report = self._run_step(state, nblist, central_range)
+        if obs.enabled():
+            obs.add("sunway.kernel.steps")
+            obs.add("sunway.kernel.interactions", report.interactions)
+            obs.add("sunway.kernel.time_modeled_s", report.total_time)
+        return report
+
+    def _run_step(
+        self,
+        state: AtomState,
+        nblist: LatticeNeighborList,
+        central_range: tuple[int, int] | None = None,
+    ) -> KernelReport:
         arch = self.arch
         strat = self.strategy
         pot = (

@@ -1,5 +1,7 @@
 """CLI tests (direct invocation, captured output)."""
 
+import json
+
 import pytest
 
 from repro.cli import FIGURES, build_parser, main
@@ -62,6 +64,87 @@ class TestCommands:
         assert main(["figure", "fig10"]) == 0
         out = capsys.readouterr().out
         assert "paper" in out
+
+    def test_coupled_profile_and_trace(self, capsys, tmp_path):
+        """The acceptance run: profile + trace of a small coupled pipeline."""
+        trace = tmp_path / "t.json"
+        argv = [
+            "coupled",
+            "--cells", "4",  # below the minimum; the CLI must bump it
+            "--events", "20",
+            "--md-steps", "40",
+            "--kmc-cycles", "5",
+            "--profile",
+            "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "--cells raised from 4" in out
+        assert "phase tree" in out
+        # All five pipeline stages appear in the printed tree.
+        for stage in ("setup", "cascade", "map_damage", "kmc", "analysis"):
+            assert f"coupled.{stage}" in out
+        assert "modeled SW26010 force step" in out
+        data = json.loads(trace.read_text())
+        events = data["traceEvents"]
+        cats = {e.get("cat") for e in events if e.get("cat")}
+        # At least one event from every instrumented subsystem.
+        assert {"coupled", "md", "kmc", "runtime", "sunway"} <= cats
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_coupled_profile_serial_kmc_opt_out(self, capsys):
+        argv = [
+            "coupled",
+            "--cells", "5",
+            "--events", "20",
+            "--md-steps", "40",
+            "--kmc-ranks", "0",
+            "--profile",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "kmc.event_selection" in out  # serial engine phases
+        assert "parallel engine" not in out
+
+    def test_cascade_profile(self, capsys):
+        argv = ["cascade", "--cells", "6", "--steps", "30", "--profile"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "md.step" in out
+        assert "md.force" in out
+
+    def test_trace_without_profile_writes_file_only(self, capsys, tmp_path):
+        trace = tmp_path / "cascade.json"
+        argv = [
+            "cascade",
+            "--cells", "6",
+            "--steps", "30",
+            "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "phase tree" not in out  # report needs --profile
+        assert "trace written" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_unwritable_trace_path_fails_cleanly(self, capsys):
+        argv = [
+            "cascade",
+            "--cells", "6",
+            "--steps", "30",
+            "--trace", "/nonexistent-dir/t.json",
+        ]
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_observation_disabled_after_run(self):
+        from repro import observe as obs
+
+        assert main(["cascade", "--cells", "6", "--steps", "30",
+                     "--profile"]) == 0
+        assert not obs.enabled()
 
     def test_kmc_schemes(self, capsys):
         assert (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.coupling import CoupledConfig, CoupledSimulation
-from repro.kmc.events import ATOM, VACANCY
+from repro.kmc.events import VACANCY
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ The full paper-shape assertions live in ``benchmarks/``; these tests
 verify the experiment plumbing at minimum cost.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.constants import KB_EV
-from repro.kmc.events import ATOM, VACANCY, KMCModel, RateParameters
+from repro.kmc.events import ATOM, VACANCY, RateParameters
 
 
 class TestRateParameters:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.lattice.bcc import BCCLattice
 from repro.lattice.box import Box
 from repro.md.forces import (
     PairTable,

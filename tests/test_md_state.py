@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.constants import FE_MASS, KB_EV
+from repro.constants import FE_MASS
 from repro.lattice.box import Box
 from repro.md.state import VACANCY_ID, AtomState
 

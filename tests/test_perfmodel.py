@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.perfmodel.calibrate import CalibratedCosts, calibrate_from_kernels
+from repro.perfmodel.calibrate import calibrate_from_kernels
 from repro.perfmodel.coupled_model import (
     CoupledScalingModel,
     paper_coupled_atoms_per_cg,

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.lattice.box import Box
-from repro.potential.eam import EAMPotential, TableSet
-from repro.potential.fe import make_fe_potential, make_fe_tables
+from repro.potential.eam import EAMPotential
+from repro.potential.fe import make_fe_tables
 
 
 class TestTableSet:

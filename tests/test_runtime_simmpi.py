@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.runtime.simmpi import ANY_SOURCE, ANY_TAG, World
+from repro.runtime.simmpi import ANY_SOURCE, World
 
 
 class TestMessaging:
@@ -200,6 +200,49 @@ class TestFailures:
 
         with pytest.raises(RuntimeError, match="bad rank"):
             World(3).run(main)
+
+    def test_abort_unblocks_blocking_probe(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.probe()  # blocked in peek, not take
+
+        with pytest.raises(RuntimeError, match="boom"):
+            World(3).run(main)
+
+    def test_abort_wakes_blocked_ranks_promptly(self):
+        # Blocked waiters sleep on a condition and are notified on abort
+        # (no polling): a failing world must not hang its siblings.
+        import time
+
+        def main(comm):
+            if comm.rank == 0:
+                time.sleep(0.01)
+                raise RuntimeError("late failure")
+            comm.recv()
+
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="late failure"):
+            World(8).run(main)
+        # Generous: a lost wakeup would hit World.run's join timeout.
+        assert time.perf_counter() - t0 < 2.0
+
+    def test_send_wakes_blocked_receiver(self):
+        import time
+
+        def main(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+                comm.send(1, tag=1, payload=b"go")
+                return None
+            t0 = time.perf_counter()
+            comm.recv(source=0, tag=1)
+            return time.perf_counter() - t0
+
+        waited = World(2).run(main)[1]
+        # Receiver was asleep for the sender's 50 ms, then woke on the
+        # deposit notification rather than a poll tick.
+        assert 0.0 < waited < 1.0
 
     def test_world_size_validation(self):
         with pytest.raises(ValueError, match="nranks"):

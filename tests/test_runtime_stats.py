@@ -8,6 +8,29 @@ from repro.runtime.simmpi import World
 from repro.runtime.stats import TrafficStats, payload_nbytes
 
 
+class Counting:
+    """Payload object that counts how often it gets pickled."""
+
+    pickles = 0
+
+    def __reduce__(self):
+        Counting.pickles += 1
+        return (Counting, ())
+
+
+class Mutating:
+    """Payload object whose pickled size changes with its state."""
+
+    def __init__(self):
+        self.blob = b""
+
+    def __getstate__(self):
+        return {"blob": self.blob}
+
+    def __setstate__(self, state):
+        self.blob = state["blob"]
+
+
 class TestPayloadNbytes:
     def test_none_is_zero(self):
         assert payload_nbytes(None) == 0
@@ -35,6 +58,27 @@ class TestPayloadNbytes:
         import threading
 
         assert payload_nbytes(threading.Lock()) == 64
+
+    def test_numpy_scalar_fast_path(self):
+        # numpy scalars cost one word, same as their Python counterparts
+        # (not their pickled size, which is ~10x larger).
+        assert payload_nbytes(np.int32(7)) == 8
+        assert payload_nbytes(np.bool_(True)) == 8
+
+    def test_pickle_fallback_memoized_within_message(self):
+        single = payload_nbytes(Counting())
+        Counting.pickles = 0
+        obj = Counting()
+        assert payload_nbytes([obj] * 10) == 10 * single
+        # One pickle.dumps for all ten references to the same object.
+        assert Counting.pickles == 1
+
+    def test_memo_does_not_leak_across_messages(self):
+        obj = Mutating()
+        before = payload_nbytes([obj])
+        obj.blob = b"x" * 100
+        after = payload_nbytes([obj])
+        assert after > before  # a new message re-measures the object
 
 
 class TestTrafficStats:

@@ -3,11 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.sunway.arch import SunwayArch
 from repro.sunway.localstore import LocalStoreOverflow
 from repro.sunway.register import (
     MESH_COLS,
-    MESH_ROWS,
     DistributedTable,
     OneSidedRegisterProtocol,
     RegisterMesh,
