@@ -1,0 +1,203 @@
+"""Kernel microbenchmarks: the hot paths the event catalog and the
+bincount scatter accelerate, with explicit old-vs-new comparisons.
+
+Unlike the figure benchmarks these measure this implementation's own
+kernel throughput — serial and sublattice KMC events/sec and EAM
+pairs/sec — and publish the numbers as observe gauges, so running under
+``REPRO_BENCH_PHASES=<dir>`` drops machine-readable JSON (phases,
+counters, and the throughput gauges) next to the wall-clock stats.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import observe as obs
+from repro.lattice.bcc import BCCLattice
+from repro.md.forces import PairTable, eam_evaluate
+
+
+@pytest.fixture(scope="module")
+def kmc_1k_system(potential_bench):
+    """16^3 lattice (8,192 sites) with 1,000 vacancies — the catalog's
+    acceptance workload."""
+    from repro.kmc.akmc import place_random_vacancies
+    from repro.kmc.events import KMCModel, RateParameters
+
+    lattice = BCCLattice(16, 16, 16)
+    params = RateParameters()
+    model = KMCModel(lattice, potential_bench, params)
+    occ0 = place_random_vacancies(model, 1000, np.random.default_rng(3))
+    return lattice, params, model, occ0
+
+
+def _events_per_second(engine, nevents: int, warmup: int = 3) -> float:
+    for _ in range(warmup):
+        engine.step()
+    t0 = time.perf_counter()
+    for _ in range(nevents):
+        engine.step()
+    return nevents / (time.perf_counter() - t0)
+
+
+def test_serial_catalog_speedup(potential_bench, kmc_1k_system):
+    """Catalog vs flat-rebuild serial AKMC at 1,000 vacancies.
+
+    Acceptance gate of the incremental catalog: >= 5x events/sec over
+    the pre-catalog rebuild-per-event path on the same trajectory.
+    """
+    from repro.kmc.akmc import SerialAKMC
+
+    lattice, params, _model, occ0 = kmc_1k_system
+    fast = _events_per_second(
+        SerialAKMC(lattice, potential_bench, params, occ0, seed=2), 300
+    )
+    slow = _events_per_second(
+        SerialAKMC(
+            lattice, potential_bench, params, occ0, seed=2, use_catalog=False
+        ),
+        30,
+    )
+    speedup = fast / slow
+    obs.set_gauge("bench.kmc.serial.catalog_events_per_s", fast)
+    obs.set_gauge("bench.kmc.serial.flat_events_per_s", slow)
+    obs.set_gauge("bench.kmc.serial.catalog_speedup", speedup)
+    print(
+        f"\nserial KMC @1000 vacancies: catalog {fast:,.0f} ev/s, "
+        f"flat rebuild {slow:,.0f} ev/s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0
+
+
+def test_serial_catalog_event_throughput(benchmark, potential_bench, kmc_1k_system):
+    """Steady-state catalog events/sec (pytest-benchmark statistics)."""
+    from repro.kmc.akmc import SerialAKMC
+
+    lattice, params, _model, occ0 = kmc_1k_system
+    engine = SerialAKMC(lattice, potential_bench, params, occ0, seed=4)
+    engine.step()  # populate the catalog outside the timed region
+
+    benchmark(engine.step)
+    rate = 1.0 / benchmark.stats["mean"]
+    obs.set_gauge("bench.kmc.serial.events_per_s", rate)
+    print(f"\ncatalog event throughput: {rate:,.0f} events/s")
+
+
+def test_sublattice_catalog_speedup(potential_bench):
+    """Catalog vs flat-rebuild sector-synchronous AKMC (8 ranks)."""
+    from repro.kmc.akmc import ParallelAKMC, place_random_vacancies
+    from repro.kmc.events import KMCModel, RateParameters
+
+    lattice = BCCLattice(8, 8, 8)
+    params = RateParameters()
+    model = KMCModel(lattice, potential_bench, params)
+    occ0 = place_random_vacancies(model, 60, np.random.default_rng(9))
+
+    rates = {}
+    for use_catalog in (True, False):
+        engine = ParallelAKMC(
+            lattice,
+            potential_bench,
+            params,
+            nranks=8,
+            scheme="ondemand",
+            seed=5,
+            use_catalog=use_catalog,
+        )
+        t0 = time.perf_counter()
+        result = engine.run(occ0, max_cycles=8)
+        rates[use_catalog] = result.events / (time.perf_counter() - t0)
+        assert result.events > 0
+    speedup = rates[True] / rates[False]
+    obs.set_gauge("bench.kmc.sublattice.catalog_events_per_s", rates[True])
+    obs.set_gauge("bench.kmc.sublattice.flat_events_per_s", rates[False])
+    obs.set_gauge("bench.kmc.sublattice.catalog_speedup", speedup)
+    print(
+        f"\nsublattice KMC (8 ranks): catalog {rates[True]:,.0f} ev/s, "
+        f"flat rebuild {rates[False]:,.0f} ev/s, speedup {speedup:.1f}x"
+    )
+    # Runtime threading makes the ratio noisy; gate only on sanity.
+    assert speedup > 0.5
+
+
+def test_batched_rate_kernel(benchmark, potential_bench, kmc_1k_system):
+    """vacancy_events_batch over all 1,000 vacancies at once."""
+    _lattice, _params, model, occ0 = kmc_1k_system
+    vrows = np.flatnonzero(occ0 == 0)
+
+    counts, _targets, rates = benchmark(
+        model.vacancy_events_batch, vrows, occ0
+    )
+    assert counts.sum() == len(rates)
+    per_s = len(vrows) / benchmark.stats["mean"]
+    obs.set_gauge("bench.kmc.batch_rate_rows_per_s", per_s)
+    print(f"\nbatched rate evaluations: {per_s:,.0f} vacancies/s")
+
+
+@pytest.fixture(scope="module")
+def eam_pair_workload(potential_bench):
+    """A dense ~400k half-pair table over a perturbed 12^3 crystal."""
+    from repro.lattice.box import Box
+    from repro.md.neighbors.verlet_list import VerletNeighborList
+    from repro.md.state import AtomState
+
+    lattice = BCCLattice(12, 12, 12)
+    state = AtomState.perfect(lattice)
+    state.x = state.x + np.random.default_rng(0).normal(0, 0.05, state.x.shape)
+    box = Box.for_lattice(lattice)
+    i, j = VerletNeighborList(box, potential_bench.cutoff).pairs(state.x)
+    table = PairTable.from_pairs(state.x, i, j, box, potential_bench.cutoff)
+    return state.n, table
+
+
+def test_eam_scatter_pairs_per_second(benchmark, potential_bench, eam_pair_workload):
+    """Two-pass EAM evaluation with the bincount scatter."""
+    n, table = eam_pair_workload
+    result = benchmark(eam_evaluate, potential_bench, n, table)
+    assert result.energy < 0
+    pairs_per_s = len(table) / benchmark.stats["mean"]
+    obs.set_gauge("bench.md.eam_pairs_per_s", pairs_per_s)
+    print(
+        f"\nEAM scatter throughput: {pairs_per_s:,.0f} pairs/s "
+        f"({len(table):,} pairs)"
+    )
+
+
+def test_eam_bincount_vs_add_at(potential_bench, eam_pair_workload):
+    """Old-vs-new force scatter: bincount against the 2-D np.add.at it
+    replaced (the worst offender — unbuffered element-wise ufunc loop)."""
+    n, table = eam_pair_workload
+    fvec = np.random.default_rng(1).normal(size=(len(table), 3))
+
+    def scatter_bincount():
+        forces = np.empty((n, 3))
+        for k in range(3):
+            forces[:, k] = np.bincount(
+                table.i, weights=fvec[:, k], minlength=n
+            ) - np.bincount(table.j, weights=fvec[:, k], minlength=n)
+        return forces
+
+    def scatter_add_at():
+        forces = np.zeros((n, 3))
+        np.add.at(forces, table.i, fvec)
+        np.add.at(forces, table.j, -fvec)
+        return forces
+
+    def best_of(fn, repeats=7):
+        fn()  # warm-up
+        return min(
+            (lambda t0: (fn(), time.perf_counter() - t0)[1])(time.perf_counter())
+            for _ in range(repeats)
+        )
+
+    t_new, t_old = best_of(scatter_bincount), best_of(scatter_add_at)
+    speedup = t_old / t_new
+    obs.set_gauge("bench.md.scatter_bincount_speedup", speedup)
+    print(
+        f"\nforce scatter over {len(table):,} pairs: bincount {t_new * 1e3:.2f} ms, "
+        f"np.add.at {t_old * 1e3:.2f} ms, speedup {speedup:.1f}x"
+    )
+    assert np.allclose(scatter_bincount(), scatter_add_at(), rtol=1e-12, atol=1e-12)

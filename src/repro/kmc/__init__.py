@@ -27,6 +27,7 @@ they differ only in measured communication volume and modeled time.
 """
 
 from repro.kmc.rng import sector_rng, cycle_seed
+from repro.kmc.catalog import EventCatalog
 from repro.kmc.events import KMCModel, RateParameters
 from repro.kmc.sublattice import SectorSchedule
 from repro.kmc.comm import TraditionalExchange, ExchangeScheme
@@ -53,6 +54,7 @@ __all__ = [
     "S_CU",
     "sector_rng",
     "cycle_seed",
+    "EventCatalog",
     "KMCModel",
     "RateParameters",
     "SectorSchedule",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import observe as obs
+from repro.kmc.catalog import EventCatalog
 from repro.kmc.comm import ExchangeScheme, TraditionalExchange
 from repro.kmc.events import VACANCY, KMCModel, RateParameters
 from repro.kmc.ondemand import OnDemandExchange
@@ -89,6 +90,12 @@ class SerialAKMC:
         :func:`place_random_vacancies` or from an MD cascade result).
     seed:
         RNG seed for event selection.
+    use_catalog:
+        With the default ``True``, events live in an incremental
+        :class:`~repro.kmc.catalog.EventCatalog` (O(log N) selection,
+        O(influence) updates per hop).  ``False`` keeps the historical
+        flat-list rebuild — the reference baseline the equivalence tests
+        and kernel benchmarks compare against.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class SerialAKMC:
         params: RateParameters | None = None,
         occupancy: np.ndarray | None = None,
         seed: int = 2018,
+        use_catalog: bool = True,
     ) -> None:
         self.params = params or RateParameters()
         self.model = KMCModel(lattice, potential, self.params)
@@ -110,7 +118,12 @@ class SerialAKMC:
         self.rng = np.random.default_rng(seed)
         self.time = 0.0
         self.events = 0
+        self.use_catalog = use_catalog
         self._rate_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self.catalog = EventCatalog(self.model.nrows) if use_catalog else None
+        #: Rows to re-derive before the next selection; ``None`` means the
+        #: catalog has not been populated yet (full build pending).
+        self._dirty: np.ndarray | None = None
 
     @property
     def vacancy_rows(self) -> np.ndarray:
@@ -119,10 +132,41 @@ class SerialAKMC:
     def step(self) -> float | None:
         """One BKL event; returns the time increment (None if frozen).
 
-        Event rates are cached per vacancy and invalidated within the
-        influence radius of each executed swap, so a step costs O(events
-        affected) instead of O(all vacancies).
+        Event rates live in the incremental catalog and only rows inside
+        the influence radius of the executed swap are re-derived, so a
+        step costs O(log N + influence) instead of O(all vacancies).
         """
+        if not self.use_catalog:
+            return self._step_flat()
+        with obs.phase("kmc.catalog_update"):
+            catalog = self.catalog
+            if self._dirty is None:
+                refreshed, _ = catalog.refresh(
+                    self.model, self.occ, self.vacancy_rows, VACANCY
+                )
+            elif len(self._dirty):
+                refreshed, cleared = catalog.refresh(
+                    self.model, self.occ, self._dirty, VACANCY
+                )
+                obs.add("kmc.catalog.rows_refreshed", refreshed)
+                obs.add("kmc.catalog.rows_cleared", cleared)
+                obs.add("kmc.catalog.rows_reused", catalog.n_active - refreshed)
+            self._dirty = np.empty(0, dtype=np.int64)
+        total = catalog.total
+        if not total > 0.0:
+            return None
+        with obs.phase("kmc.event_selection"):
+            dt = -math.log(self.rng.random()) / total
+            vrow, trow = catalog.sample_event(self.rng.random())
+            self.model.execute_swap(self.occ, vrow, trow)
+            self._dirty = self.model.influence_rows([vrow, trow])
+        obs.add("kmc.events")
+        self.time += dt
+        self.events += 1
+        return dt
+
+    def _step_flat(self) -> float | None:
+        """The pre-catalog step: per-event flat list rebuild + cumsum."""
         with obs.phase("kmc.rate_update"):
             vrows = self.vacancy_rows
             all_v: list[int] = []
@@ -177,6 +221,102 @@ class SerialAKMC:
         )
 
 
+def _sector_events_flat(model, occ, rows_s, rng, dt) -> tuple[list[int], int]:
+    """Pre-catalog sector pass: flat event list rebuilt after every hop."""
+    dirty: list[int] = []
+    events = 0
+    t_sector = 0.0
+    cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    while True:
+        with obs.phase("kmc.rate_update"):
+            vrows = rows_s[occ[rows_s] == VACANCY]
+            ev_v: list[int] = []
+            ev_t: list[int] = []
+            ev_r: list[float] = []
+            for v in vrows:
+                iv = int(v)
+                if iv not in cache:
+                    cache[iv] = model.vacancy_events(iv, occ)
+                targets, rates = cache[iv]
+                ev_v.extend([iv] * len(targets))
+                ev_t.extend(int(x) for x in targets)
+                ev_r.extend(float(r) for r in rates)
+        if not ev_r:
+            break
+        with obs.phase("kmc.event_selection"):
+            rates = np.asarray(ev_r)
+            total = float(rates.sum())
+            t_sector += -math.log(rng.random()) / total
+            if t_sector > dt:
+                break
+            pick = np.searchsorted(np.cumsum(rates), rng.random() * total)
+            pick = min(pick, len(rates) - 1)
+            model.execute_swap(occ, ev_v[pick], ev_t[pick])
+            for row in model.influence_rows([ev_v[pick], ev_t[pick]]):
+                cache.pop(int(row), None)
+            dirty.extend((ev_v[pick], ev_t[pick]))
+            obs.add("kmc.events")
+            events += 1
+    return dirty, events
+
+
+def _sector_events_catalog(
+    model,
+    occ,
+    rows_s,
+    member,
+    catalog: EventCatalog,
+    snapshot: np.ndarray | None,
+    rng,
+    dt,
+) -> tuple[list[int], int, np.ndarray]:
+    """Catalog sector pass: incremental invalidation, O(log N) selection.
+
+    ``snapshot`` is the occupancy as of the end of this sector's previous
+    visit; diffing against it captures every change made since — own
+    events in other sectors and ghost writes by *any* communication
+    scheme — and only rows inside the influence radius of those changes
+    (intersected with this sector) re-enter the catalog.  Returns the
+    dirty rows, the event count, and the new snapshot.
+    """
+    with obs.phase("kmc.catalog_update"):
+        if snapshot is None:
+            catalog.refresh(
+                model, occ, rows_s[occ[rows_s] == VACANCY], VACANCY
+            )
+        else:
+            changed = np.flatnonzero(occ != snapshot)
+            if len(changed):
+                inval = model.influence_rows(changed)
+                inval = inval[member[inval]]
+                refreshed, cleared = catalog.refresh(model, occ, inval, VACANCY)
+                obs.add("kmc.catalog.rows_refreshed", refreshed)
+                obs.add("kmc.catalog.rows_cleared", cleared)
+                obs.add(
+                    "kmc.catalog.rows_reused", catalog.n_active - refreshed
+                )
+    dirty: list[int] = []
+    events = 0
+    t_sector = 0.0
+    while True:
+        total = catalog.total
+        if not total > 0.0:
+            break
+        with obs.phase("kmc.event_selection"):
+            t_sector += -math.log(rng.random()) / total
+            if t_sector > dt:
+                break
+            vrow, trow = catalog.sample_event(rng.random())
+            model.execute_swap(occ, vrow, trow)
+        with obs.phase("kmc.catalog_update"):
+            inval = model.influence_rows([vrow, trow])
+            catalog.refresh(model, occ, inval[member[inval]], VACANCY)
+        dirty.extend((vrow, trow))
+        obs.add("kmc.events")
+        events += 1
+    return dirty, events, occ.copy()
+
+
 class ParallelAKMC:
     """Sector-synchronous parallel AKMC (Figure 7) on the runtime.
 
@@ -191,6 +331,13 @@ class ParallelAKMC:
     seed:
         Base seed; event streams derive from (seed, rank, cycle, sector),
         so all three schemes reproduce identical trajectories.
+    use_catalog:
+        With the default ``True``, each sector keeps a persistent
+        :class:`~repro.kmc.catalog.EventCatalog` across cycles; between
+        visits only rows inside the influence radius of occupancy
+        changes (own events elsewhere, ghost refreshes from any
+        communication scheme) re-enter the catalog.  ``False`` keeps the
+        historical per-event flat rebuild for baseline comparisons.
     """
 
     def __init__(
@@ -203,6 +350,7 @@ class ParallelAKMC:
         scheme: str = "ondemand",
         seed: int = 2018,
         network=None,
+        use_catalog: bool = True,
     ) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {list(SCHEMES)}")
@@ -217,6 +365,7 @@ class ParallelAKMC:
         self.scheme_name = scheme
         self.seed = seed
         self.network = network
+        self.use_catalog = use_catalog
         self.width = ghost_width_cells(lattice, self.params)
 
     @property
@@ -250,6 +399,8 @@ class ParallelAKMC:
         rate_bound = self._rate_bound_per_vacancy()
         scheme_cls = SCHEMES[self.scheme_name]
 
+        use_catalog = self.use_catalog
+
         def rank_main(comm):
             sub = self.decomp.subdomain(comm.rank)
             owned = sub.owned_site_ranks(lattice)
@@ -260,6 +411,15 @@ class ParallelAKMC:
             occ = occupancy[sites].copy()
             schedule = SectorSchedule(self.decomp, comm.rank, sites, width)
             scheme = scheme_cls(comm, schedule, occ)
+            if use_catalog:
+                # One persistent catalog per sector: sector row sets
+                # repeat every cycle, so incremental invalidation can
+                # carry rates across cycles.  The snapshot records the
+                # occupancy each catalog was last consistent with.
+                catalogs = [
+                    EventCatalog(model.nrows) for _ in range(schedule.nsectors)
+                ]
+                snapshots: list[np.ndarray | None] = [None] * schedule.nsectors
             t = 0.0
             cycle = 0
             events = 0
@@ -281,48 +441,23 @@ class ParallelAKMC:
                     for s in range(schedule.nsectors):
                         scheme.before_sector(s)
                         rng = sector_rng(seed, comm.rank, cycle, s)
-                        dirty: list[int] = []
-                        t_sector = 0.0
                         rows_s = schedule.sector_rows[s]
-                        # Rate cache for this sector pass; invalidated within
-                        # the influence radius of each swap.  (Ghost refreshes
-                        # happened before this pass, so cached rates stay
-                        # valid between events.)
-                        cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-                        while True:
-                            with obs.phase("kmc.rate_update"):
-                                vrows = rows_s[occ[rows_s] == VACANCY]
-                                ev_v: list[int] = []
-                                ev_t: list[int] = []
-                                ev_r: list[float] = []
-                                for v in vrows:
-                                    iv = int(v)
-                                    if iv not in cache:
-                                        cache[iv] = model.vacancy_events(iv, occ)
-                                    targets, rates = cache[iv]
-                                    ev_v.extend([iv] * len(targets))
-                                    ev_t.extend(int(x) for x in targets)
-                                    ev_r.extend(float(r) for r in rates)
-                            if not ev_r:
-                                break
-                            with obs.phase("kmc.event_selection"):
-                                rates = np.asarray(ev_r)
-                                total = float(rates.sum())
-                                t_sector += -math.log(rng.random()) / total
-                                if t_sector > dt:
-                                    break
-                                pick = np.searchsorted(
-                                    np.cumsum(rates), rng.random() * total
-                                )
-                                pick = min(pick, len(rates) - 1)
-                                model.execute_swap(occ, ev_v[pick], ev_t[pick])
-                                for row in model.influence_rows(
-                                    [ev_v[pick], ev_t[pick]]
-                                ):
-                                    cache.pop(int(row), None)
-                                dirty.extend((ev_v[pick], ev_t[pick]))
-                                obs.add("kmc.events")
-                                events += 1
+                        if use_catalog:
+                            dirty, n_ev, snapshots[s] = _sector_events_catalog(
+                                model,
+                                occ,
+                                rows_s,
+                                schedule.sector_member[s],
+                                catalogs[s],
+                                snapshots[s],
+                                rng,
+                                dt,
+                            )
+                        else:
+                            dirty, n_ev = _sector_events_flat(
+                                model, occ, rows_s, rng, dt
+                            )
+                        events += n_ev
                         scheme.after_sector(s, np.asarray(dirty, dtype=np.int64))
                     t += dt
                     cycle += 1

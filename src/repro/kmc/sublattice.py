@@ -111,6 +111,14 @@ class SectorSchedule:
         self.sector_rows: list[np.ndarray] = [
             _rows_in(sites, sec.owned_site_ranks(lattice)) for sec in self.sectors
         ]
+        # Boolean membership masks over the local rows — the O(1) lookup
+        # the incremental event catalogs use to intersect an influence
+        # set with a sector's event sites.
+        self.sector_member: list[np.ndarray] = []
+        for rows in self.sector_rows:
+            mask = np.zeros(len(sites), dtype=bool)
+            mask[rows] = True
+            self.sector_member.append(mask)
         # Distinct neighbor ranks (small grids alias directions).
         neighbor_ranks = sorted(
             {

@@ -85,13 +85,17 @@ class TestBKL:
     def test_rate_cache_matches_uncached(
         self, lattice8, potential, rate_params, kmc_initial_occ
     ):
-        # Run the same trajectory with the cache cleared every step; the
-        # trajectories must be identical (cache is a pure optimization).
+        # Run the same flat-rebuild trajectory with the cache cleared
+        # every step; the trajectories must be identical (the cache is a
+        # pure optimization).  Catalog/flat equivalence has its own
+        # tests in test_kmc_catalog.py.
         cached = SerialAKMC(
-            lattice8, potential, rate_params, kmc_initial_occ, seed=4
+            lattice8, potential, rate_params, kmc_initial_occ, seed=4,
+            use_catalog=False,
         )
         uncached = SerialAKMC(
-            lattice8, potential, rate_params, kmc_initial_occ, seed=4
+            lattice8, potential, rate_params, kmc_initial_occ, seed=4,
+            use_catalog=False,
         )
         for _ in range(25):
             cached.step()

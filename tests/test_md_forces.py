@@ -91,6 +91,27 @@ class TestKernelCorrectness:
         assert result.energy == 0.0
         assert np.all(result.forces == 0.0)
 
+    def test_bincount_scatter_matches_add_at(self, system, potential):
+        """The bincount rho/force scatter must agree with the np.add.at
+        accumulation it replaced (identical up to summation-order ulps)."""
+        state, nbl = system
+        table, x, active, _runs = build_pair_table(state, nbl, potential)
+        result = eam_evaluate(potential, len(x), table, active)
+        rho = np.zeros(len(x))
+        fd = potential.tables.density(table.r)
+        np.add.at(rho, table.i, fd)
+        np.add.at(rho, table.j, fd)
+        assert np.allclose(result.rho, rho, rtol=1e-14, atol=0.0)
+        dphi = potential.tables.pair.derivative(table.r)
+        dfd = potential.tables.density.derivative(table.r)
+        demb = potential.tables.embedding.derivative(rho)
+        coeff = (dphi + (demb[table.i] + demb[table.j]) * dfd) / table.r
+        fvec = coeff[:, None] * table.d
+        forces = np.zeros((len(x), 3))
+        np.add.at(forces, table.i, fvec)
+        np.add.at(forces, table.j, -fvec)
+        assert np.allclose(result.forces, forces, rtol=1e-12, atol=1e-12)
+
     def test_pairs_kernel_matches_lattice_kernel(self, system, potential, box5):
         state, nbl = system
         e1 = compute_energy_forces(potential, state, nbl)
