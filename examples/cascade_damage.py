@@ -6,9 +6,13 @@ pairs, inspect the displacement spectrum, and dump the final atom and
 vacancy configurations as extended-XYZ files (viewable in OVITO/VMD).
 
     python examples/cascade_damage.py [output_dir]
+
+Without an explicit output_dir the XYZ frames go to a fresh directory
+under the system temp dir — never into the working tree.
 """
 
 import sys
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -80,4 +84,8 @@ def main(outdir: Path) -> None:
 
 
 if __name__ == "__main__":
-    main(Path(sys.argv[1]) if len(sys.argv) > 1 else Path("cascade_output"))
+    main(
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(tempfile.mkdtemp(prefix="repro-cascade-"))
+    )

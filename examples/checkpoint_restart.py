@@ -7,9 +7,13 @@ resumed trajectory is bit-identical to an uninterrupted one.  It also
 records the KMC stage into a trajectory file.
 
     python examples/checkpoint_restart.py [workdir]
+
+Without an explicit workdir the artifacts go to a fresh directory under
+the system temp dir — never into the working tree.
 """
 
 import sys
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -83,4 +87,8 @@ def main(workdir: Path) -> None:
 
 
 if __name__ == "__main__":
-    main(Path(sys.argv[1]) if len(sys.argv) > 1 else Path("checkpoint_output"))
+    main(
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(tempfile.mkdtemp(prefix="repro-checkpoint-restart-"))
+    )

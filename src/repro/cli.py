@@ -92,6 +92,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=50,
         help="parallel-KMC cycle budget (with --kmc-ranks)",
     )
+    coupled.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help=(
+            "fault-injection plan for the KMC stage, e.g. "
+            '"crash:rank=1,cycle=3; dup:rank=0,nth=2"; the run recovers '
+            "from the last checkpoint and finishes bit-identically to a "
+            "fault-free run (see repro.runtime.faults for the syntax)"
+        ),
+    )
+    coupled.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "write a resumable KMC checkpoint every N cycles (parallel) "
+            "or N events (serial)"
+        ),
+    )
+    coupled.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for checkpoints (default: a fresh temporary "
+            "directory, so nothing lands in the working tree)"
+        ),
+    )
+    coupled.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "deadline for each blocking recv/probe/collective of the "
+            "parallel KMC runtime (default: no deadline)"
+        ),
+    )
     _add_observe_flags(coupled)
 
     cascade = sub.add_parser("cascade", help="run one MD cascade")
@@ -181,7 +221,16 @@ def cmd_info() -> int:
 def cmd_coupled(args) -> int:
     from repro.core.coupling import CoupledConfig, CoupledSimulation
     from repro.md.cascade import CascadeConfig
+    from repro.runtime.faults import FaultPlan, FaultPlanError
 
+    plan = None
+    if args.faults is not None:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except FaultPlanError as exc:
+            print(f"error: bad --faults plan: {exc}", file=sys.stderr)
+            return 2
+        print(f"fault plan: {plan.describe()}")
     profiling = _profiling_requested(args)
     cells = args.cells
     if cells < MIN_CELLS:
@@ -216,6 +265,10 @@ def cmd_coupled(args) -> int:
             kmc_max_cycles=args.kmc_cycles,
             seed=args.seed,
             sunway_model=profiling,
+            faults=plan,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            watchdog=args.watchdog,
         )
     )
     print(f"coupled MD-KMC over {sim.lattice.nsites} sites ...")
@@ -233,6 +286,16 @@ def cmd_coupled(args) -> int:
             f"{sw['modeled_step_time_s']:.3g} s, "
             f"{sw['dma_operations']:,} DMA ops / {sw['dma_bytes']:,} B"
         )
+    if result.fault_report is not None:
+        fr = result.fault_report
+        print(
+            f"faults injected: {fr['injected']} "
+            f"({fr['crashes']} crashes, {fr['delays']} delays, "
+            f"{fr['duplicates']} duplicates, {fr['stalls']} stalls); "
+            f"recoveries: {result.recoveries}"
+        )
+    elif result.recoveries:
+        print(f"recoveries: {result.recoveries}")
     _finish_observation(args, registry)
     return 0
 

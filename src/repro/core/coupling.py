@@ -19,7 +19,9 @@ simulates the defect evolution and vacancies clustering."
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +35,8 @@ from repro.md.cascade import CascadeConfig, CascadeResult, run_cascade
 from repro.md.engine import MDConfig, MDEngine
 from repro.potential.eam import EAMPotential
 from repro.potential.fe import make_fe_potential
+from repro.runtime.faults import FaultInjector, InjectedFault, resolve_plan
+from repro.runtime.simmpi import WorldAborted
 
 
 @dataclass(frozen=True)
@@ -75,6 +79,27 @@ class CoupledConfig:
         (best optimization rung of Figure 9), attaching the modeled
         kernel time and DMA inventory to the result — the modeled
         hardware cost next to the host cost.
+    faults:
+        Fault-injection plan for the KMC stage — a
+        :class:`~repro.runtime.faults.FaultPlan` or its DSL string (e.g.
+        ``"crash:rank=1,cycle=3"``).  Injected crashes are survived by
+        the recovery supervisor: the stage restarts from the last good
+        checkpoint (or from scratch) until it completes, to a final
+        state bit-identical to a fault-free run.
+    checkpoint_every:
+        Write a resumable KMC checkpoint every N cycles (parallel) or N
+        events (serial).  ``None`` disables checkpointing; recovery then
+        replays the whole stage.
+    checkpoint_dir:
+        Where checkpoints live.  ``None`` uses a fresh temporary
+        directory, so no run artifacts land in the working tree unless a
+        path is passed explicitly.
+    max_recoveries:
+        Recovery attempts before the supervisor gives up and re-raises.
+    watchdog:
+        Per-wait deadline (seconds) for the parallel KMC runtime's
+        blocking recv/probe/collectives; ``None`` (default) keeps the
+        hot paths deadline-free.
     """
 
     cells: int = 8
@@ -89,6 +114,11 @@ class CoupledConfig:
     table_points: int = 2000
     recombination_radius: float | None = None
     sunway_model: bool = False
+    faults: object = None
+    checkpoint_every: int | None = None
+    checkpoint_dir: str | None = None
+    max_recoveries: int = 3
+    watchdog: float | None = None
 
     def __post_init__(self) -> None:
         if self.cells < 5:
@@ -97,6 +127,10 @@ class CoupledConfig:
             )
         if self.temperature <= 0:
             raise ValueError("temperature must be positive")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
 
 
 def recombine_frenkel_pairs(
@@ -145,6 +179,11 @@ class CoupledResult:
     comm_stats: dict | None = None
     #: Modeled SW26010 cost of one post-cascade EAM step (when enabled).
     sunway_report: dict | None = None
+    #: How many times the KMC stage was restarted after a fault.
+    recoveries: int = 0
+    #: Injector counters (crashes/delays/duplicates/stalls), when faults
+    #: were planned.
+    fault_report: dict | None = None
 
 
 class CoupledSimulation:
@@ -228,14 +267,46 @@ class CoupledSimulation:
         return occ
 
     def run_kmc_stage(self, occupancy: np.ndarray):
-        """Stage 4: evolve the damage with AKMC."""
+        """Stage 4: evolve the damage with AKMC (no fault machinery)."""
+        result, _recoveries, _report = self._run_kmc_supervised(
+            occupancy, plain=True
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant KMC stage (the recovery supervisor)
+    # ------------------------------------------------------------------
+    def _checkpoint_dir(self) -> Path:
+        cfg = self.config
+        if cfg.checkpoint_dir is not None:
+            path = Path(cfg.checkpoint_dir)
+            path.mkdir(parents=True, exist_ok=True)
+            return path
+        # Run artifacts never land in the working tree by default.
+        return Path(tempfile.mkdtemp(prefix="repro-checkpoint-"))
+
+    def _run_kmc_attempt(self, occupancy, injector, resume, ckpt_path):
+        """One KMC attempt: fresh engine, optional resume point."""
         cfg = self.config
         params = cfg.rates or RateParameters(temperature=cfg.temperature)
+        every = cfg.checkpoint_every if ckpt_path is not None else None
+        path = ckpt_path if every is not None else None
         if cfg.kmc_nranks is None:
             engine = SerialAKMC(
-                self.lattice, self.potential, params, occupancy, seed=cfg.seed
+                self.lattice,
+                self.potential,
+                params,
+                occupancy,
+                seed=cfg.seed,
+                faults=injector,
             )
-            return engine.run(max_events=cfg.kmc_max_events)
+            if resume is not None:
+                engine.restore(resume)
+            return engine.run(
+                max_events=cfg.kmc_max_events,
+                checkpoint_every=every,
+                checkpoint_path=path,
+            )
         engine = ParallelAKMC(
             self.lattice,
             self.potential,
@@ -243,8 +314,72 @@ class CoupledSimulation:
             nranks=cfg.kmc_nranks,
             scheme=cfg.kmc_scheme,
             seed=cfg.seed,
+            faults=injector,
+            watchdog=cfg.watchdog,
         )
-        return engine.run(occupancy, max_cycles=cfg.kmc_max_cycles)
+        occ0 = resume.occupancy if resume is not None else occupancy
+        return engine.run(
+            occ0,
+            max_cycles=cfg.kmc_max_cycles,
+            checkpoint_every=every,
+            checkpoint_path=path,
+            resume=resume,
+        )
+
+    def _run_kmc_supervised(self, occupancy: np.ndarray, plain: bool = False):
+        """Stage 4 under the fault supervisor.
+
+        Runs KMC attempts until one completes.  On a rank failure
+        (injected or organic), a world abort, or a watchdog/world
+        timeout, the supervisor restores the last good checkpoint and
+        resumes — or replays the stage from the start when no checkpoint
+        exists yet.  Both paths converge on a final state bit-identical
+        to a fault-free run: the event streams are pure functions of
+        (seed, rank, cycle, sector) for the parallel engine and the
+        checkpoint carries the exact RNG state for the serial one.
+
+        Returns ``(result, recoveries, fault_report)``.
+        """
+        cfg = self.config
+        plan = None if plain else resolve_plan(cfg.faults)
+        supervised = plan is not None or cfg.checkpoint_every is not None
+        if plain or not supervised:
+            # The historical direct path: no injector, no checkpoints.
+            return (
+                self._run_kmc_attempt(occupancy, None, None, None),
+                0,
+                None,
+            )
+        injector = FaultInjector(plan) if plan is not None else None
+        ckpt_path = self._checkpoint_dir() / "kmc_checkpoint.npz"
+        recoveries = 0
+        resume = None
+        while True:
+            try:
+                result = self._run_kmc_attempt(
+                    occupancy, injector, resume, ckpt_path
+                )
+                report = injector.snapshot() if injector is not None else None
+                return result, recoveries, report
+            except (WorldAborted, InjectedFault, TimeoutError, RuntimeError):
+                recoveries += 1
+                obs.add("runtime.recoveries")
+                if recoveries > cfg.max_recoveries:
+                    raise
+            with obs.phase("coupling.recover"):
+                # Restore the last good checkpoint; if the fault struck
+                # before the first one landed, replay from the start.
+                if ckpt_path.exists():
+                    from repro.io.checkpoint import load_kmc_checkpoint
+
+                    resume = load_kmc_checkpoint(ckpt_path)
+                else:
+                    resume = None
+                obs.add(
+                    "coupling.recover.from_checkpoint"
+                    if resume is not None
+                    else "coupling.recover.from_scratch"
+                )
 
     def run(self) -> CoupledResult:
         """Execute the full pipeline and assemble the result.
@@ -262,6 +397,15 @@ class CoupledSimulation:
                 )
             with obs.phase("coupled.cascade"):
                 cascade = run_cascade(engine, cascade_cfg)
+            if cfg.checkpoint_dir is not None:
+                # Persist the post-cascade MD engine state so a recovery
+                # (or a later session) never has to replay the MD stage.
+                from repro.io.checkpoint import save_checkpoint
+
+                with obs.phase("coupled.checkpoint"):
+                    save_checkpoint(
+                        self._checkpoint_dir() / "md_cascade.npz", engine
+                    )
             sunway_report = None
             if cfg.sunway_model:
                 with obs.phase("coupled.sunway_model"):
@@ -270,7 +414,7 @@ class CoupledSimulation:
                 occ0 = self.occupancy_from_cascade(cascade)
                 vac_md = np.flatnonzero(occ0 == VACANCY)
             with obs.phase("coupled.kmc"):
-                kmc = self.run_kmc_stage(occ0)
+                kmc, recoveries, fault_report = self._run_kmc_supervised(occ0)
             with obs.phase("coupled.analysis"):
                 c_mc = len(vac_md) / self.lattice.nsites
                 # KMC clock runs in ps; the timescale formula takes seconds.
@@ -292,4 +436,6 @@ class CoupledSimulation:
             real_time_seconds=real_seconds,
             comm_stats=kmc.comm_stats,
             sunway_report=sunway_report,
+            recoveries=recoveries,
+            fault_report=fault_report,
         )

@@ -3,15 +3,34 @@
 A long coupled run (the paper's is 8.6 hours) must survive interruption;
 checkpoints capture enough to resume: the full atom state, the run-away
 atom linked lists, the step counter, and RNG-relevant seeds.
+
+Two checkpoint families live here:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the full MD engine
+  state (atoms, run-away linked lists, step counter);
+* :func:`save_kmc_checkpoint` / :func:`load_kmc_checkpoint` — the
+  lightweight per-cycle AKMC record the fault-recovery supervisor
+  restores from: the global occupancy, the simulated clock, the cycle /
+  event counters, and (for the serial engine) the exact RNG state.  KMC
+  checkpoints are written atomically (temp file + ``os.replace``), so a
+  crash mid-write can never destroy the last good checkpoint.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.io.dump import dump_state, load_state
 from repro.md.engine import MDEngine
 from repro.md.neighbors.lattice_list import RunawayAtom
+
+#: Format marker of a KMC checkpoint file.
+KMC_FORMAT = "repro-kmc-checkpoint-v1"
 
 
 class CheckpointError(RuntimeError):
@@ -61,3 +80,93 @@ def load_checkpoint(path, engine: MDEngine) -> None:
             rho=float(extra["runaway_rho"][i]),
         )
         engine.nblist.hosts.setdefault(atom.host, []).append(atom)
+
+
+# ----------------------------------------------------------------------
+# Lightweight AKMC checkpoints (the recovery supervisor's restart unit)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KMCCheckpoint:
+    """One resumable AKMC snapshot.
+
+    Attributes
+    ----------
+    occupancy:
+        The *global* site array (int8 ATOM/VACANCY codes).
+    time:
+        Simulated KMC clock (ps) — stored bit-exactly, so a resumed run
+        accumulates the identical float sum as an uninterrupted one.
+    cycle:
+        Parallel engine: completed cycles.  Serial engine: equals
+        ``events``.
+    events:
+        Global executed-event count at the snapshot.
+    rng_state:
+        JSON-encoded ``bit_generator.state`` of the serial engine's
+        generator (``None`` for parallel runs, whose streams are pure
+        functions of (seed, rank, cycle, sector) and need no state).
+    """
+
+    occupancy: np.ndarray
+    time: float
+    cycle: int
+    events: int
+    rng_state: str | None = None
+
+
+def save_kmc_checkpoint(
+    path,
+    occupancy: np.ndarray,
+    *,
+    time: float,
+    cycle: int = 0,
+    events: int = 0,
+    rng_state: str | None = None,
+) -> None:
+    """Atomically write a :class:`KMCCheckpoint` to ``path`` (.npz).
+
+    The snapshot lands in a sibling temp file first and is renamed over
+    ``path`` only once fully written: a rank crash (or fault injection)
+    during checkpointing leaves the previous checkpoint intact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez_compressed(
+        tmp,
+        format=np.array(KMC_FORMAT),
+        occupancy=np.asarray(occupancy, dtype=np.int8),
+        time=np.array(float(time)),
+        cycle=np.array(int(cycle)),
+        events=np.array(int(events)),
+        rng_state=np.array(rng_state if rng_state is not None else ""),
+    )
+    os.replace(tmp, path)
+
+
+def load_kmc_checkpoint(path) -> KMCCheckpoint:
+    """Read back a checkpoint written by :func:`save_kmc_checkpoint`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "format" not in data.files or str(data["format"]) != KMC_FORMAT:
+            raise CheckpointError(f"{path} is not a {KMC_FORMAT} file")
+        rng_state = str(data["rng_state"])
+        return KMCCheckpoint(
+            occupancy=data["occupancy"].astype(np.int8).copy(),
+            time=float(data["time"]),
+            cycle=int(data["cycle"]),
+            events=int(data["events"]),
+            rng_state=rng_state or None,
+        )
+
+
+def rng_state_json(rng: np.random.Generator) -> str:
+    """Serialize a NumPy generator's exact state for a checkpoint."""
+    return json.dumps(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state_json: str) -> None:
+    """Load a state produced by :func:`rng_state_json` back into ``rng``."""
+    try:
+        rng.bit_generator.state = json.loads(state_json)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CheckpointError(f"invalid RNG state in checkpoint: {exc}") from exc

@@ -96,6 +96,12 @@ class SerialAKMC:
         O(influence) updates per hop).  ``False`` keeps the historical
         flat-list rebuild — the reference baseline the equivalence tests
         and kernel benchmarks compare against.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector` consulted
+        at the top of every event (site ``"kmc.event"``); a planned
+        crash raises :class:`~repro.runtime.faults.InjectedFault` there,
+        which the recovery supervisor in :mod:`repro.core.coupling`
+        survives by restoring the last checkpoint.
     """
 
     def __init__(
@@ -106,6 +112,7 @@ class SerialAKMC:
         occupancy: np.ndarray | None = None,
         seed: int = 2018,
         use_catalog: bool = True,
+        faults=None,
     ) -> None:
         self.params = params or RateParameters()
         self.model = KMCModel(lattice, potential, self.params)
@@ -119,6 +126,7 @@ class SerialAKMC:
         self.time = 0.0
         self.events = 0
         self.use_catalog = use_catalog
+        self.faults = faults
         self._rate_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.catalog = EventCatalog(self.model.nrows) if use_catalog else None
         #: Rows to re-derive before the next selection; ``None`` means the
@@ -136,6 +144,8 @@ class SerialAKMC:
         the influence radius of the executed swap are re-derived, so a
         step costs O(log N + influence) instead of O(all vacancies).
         """
+        if self.faults is not None:
+            self.faults.crash_point(0, "kmc.event", self.events)
         if not self.use_catalog:
             return self._step_flat()
         with obs.phase("kmc.catalog_update"):
@@ -200,10 +210,21 @@ class SerialAKMC:
         self,
         max_events: int | None = None,
         t_threshold: float | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
     ) -> KMCResult:
-        """Run until either bound is hit (at least one must be given)."""
+        """Run until either bound is hit (at least one must be given).
+
+        With ``checkpoint_every``/``checkpoint_path`` set, a resumable
+        snapshot (occupancy, clock, event count, exact RNG state) is
+        written atomically every N events; :meth:`restore` continues a
+        run from such a snapshot bit-identically to one that was never
+        interrupted.
+        """
         if max_events is None and t_threshold is None:
             raise ValueError("provide max_events and/or t_threshold")
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
         while True:
             if max_events is not None and self.events >= max_events:
                 break
@@ -211,6 +232,12 @@ class SerialAKMC:
                 break
             if self.step() is None:
                 break
+            if (
+                checkpoint_every is not None
+                and self.events % checkpoint_every == 0
+            ):
+                with obs.phase("kmc.checkpoint"):
+                    self.checkpoint(checkpoint_path)
         vac = self.vacancy_rows
         return KMCResult(
             occupancy=self.occ.copy(),
@@ -219,6 +246,56 @@ class SerialAKMC:
             events=self.events,
             vacancy_ranks=self.model.sites[vac],
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (the recovery supervisor's primitives)
+    # ------------------------------------------------------------------
+    def checkpoint(self, path) -> None:
+        """Atomically write this engine's resumable state to ``path``."""
+        from repro.io.checkpoint import rng_state_json, save_kmc_checkpoint
+
+        save_kmc_checkpoint(
+            path,
+            self.occ,
+            time=self.time,
+            cycle=self.events,
+            events=self.events,
+            rng_state=rng_state_json(self.rng),
+        )
+
+    def restore(self, checkpoint) -> None:
+        """Resume from a checkpoint (path or loaded object), in place.
+
+        Restores the occupancy, clock, event counter, and the exact RNG
+        state, and discards every derived structure (rate cache, event
+        catalog) so they rebuild from the restored occupancy — the
+        continuation is bit-identical to a run that never stopped.
+        """
+        from repro.io.checkpoint import (
+            KMCCheckpoint,
+            load_kmc_checkpoint,
+            restore_rng_state,
+        )
+
+        ckpt = (
+            checkpoint
+            if isinstance(checkpoint, KMCCheckpoint)
+            else load_kmc_checkpoint(checkpoint)
+        )
+        if len(ckpt.occupancy) != self.model.nrows:
+            raise ValueError(
+                f"checkpoint covers {len(ckpt.occupancy)} sites, "
+                f"engine has {self.model.nrows}"
+            )
+        self.occ = ckpt.occupancy.astype(np.int8).copy()
+        self.time = float(ckpt.time)
+        self.events = int(ckpt.events)
+        if ckpt.rng_state is not None:
+            restore_rng_state(self.rng, ckpt.rng_state)
+        self._rate_cache.clear()
+        if self.catalog is not None:
+            self.catalog = EventCatalog(self.model.nrows)
+        self._dirty = None
 
 
 def _sector_events_flat(model, occ, rows_s, rng, dt) -> tuple[list[int], int]:
@@ -338,6 +415,13 @@ class ParallelAKMC:
         changes (own events elsewhere, ghost refreshes from any
         communication scheme) re-enter the catalog.  ``False`` keeps the
         historical per-event flat rebuild for baseline comparisons.
+    faults:
+        Optional fault plan/injector handed to the :class:`World`; every
+        cycle starts with a ``fault_point("kmc.cycle", cycle)`` so a
+        planned rank crash aborts the world exactly where the plan says.
+    watchdog:
+        Optional per-wait deadline (seconds) for the world's blocking
+        recv/probe/collectives; ``None`` keeps them deadline-free.
     """
 
     def __init__(
@@ -351,6 +435,8 @@ class ParallelAKMC:
         seed: int = 2018,
         network=None,
         use_catalog: bool = True,
+        faults=None,
+        watchdog: float | None = None,
     ) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {list(SCHEMES)}")
@@ -366,6 +452,8 @@ class ParallelAKMC:
         self.seed = seed
         self.network = network
         self.use_catalog = use_catalog
+        self.faults = faults
+        self.watchdog = watchdog
         self.width = ghost_width_cells(lattice, self.params)
 
     @property
@@ -388,16 +476,40 @@ class ParallelAKMC:
         occupancy: np.ndarray,
         max_cycles: int = 50,
         t_threshold: float | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+        resume=None,
     ) -> KMCResult:
-        """Run from a *global* occupancy array; returns the global outcome."""
+        """Run from a *global* occupancy array; returns the global outcome.
+
+        Parameters
+        ----------
+        checkpoint_every / checkpoint_path:
+            Every N completed cycles, gather the global occupancy and
+            let rank 0 write an atomic
+            :class:`~repro.io.checkpoint.KMCCheckpoint`.  Because event
+            streams are pure functions of (seed, rank, cycle, sector),
+            the snapshot needs no RNG state.
+        resume:
+            A :class:`~repro.io.checkpoint.KMCCheckpoint` to continue
+            from: pass its ``occupancy`` as this call's ``occupancy``
+            and the run re-enters at its cycle/clock/event counters,
+            producing a trajectory bit-identical to one that never
+            stopped.
+        """
         occupancy = np.asarray(occupancy, dtype=np.int8)
         if len(occupancy) != self.lattice.nsites:
             raise ValueError("occupancy must cover the full lattice")
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
         lattice = self.lattice
         width = self.width
         seed = self.seed
         rate_bound = self._rate_bound_per_vacancy()
         scheme_cls = SCHEMES[self.scheme_name]
+        start_cycle = 0 if resume is None else int(resume.cycle)
+        start_time = 0.0 if resume is None else float(resume.time)
+        events_base = 0 if resume is None else int(resume.events)
 
         use_catalog = self.use_catalog
 
@@ -420,10 +532,11 @@ class ParallelAKMC:
                     EventCatalog(model.nrows) for _ in range(schedule.nsectors)
                 ]
                 snapshots: list[np.ndarray | None] = [None] * schedule.nsectors
-            t = 0.0
-            cycle = 0
+            t = start_time
+            cycle = start_cycle
             events = 0
             while cycle < max_cycles and (t_threshold is None or t < t_threshold):
+                comm.fault_point("kmc.cycle", cycle)
                 with obs.phase("kmc.cycle"):
                     # "#1: Compute dt for the subdomain" + global time sync —
                     # the collective the weak-scaling analysis blames.  The
@@ -461,8 +574,37 @@ class ParallelAKMC:
                         scheme.after_sector(s, np.asarray(dirty, dtype=np.int64))
                     t += dt
                     cycle += 1
+                if (
+                    checkpoint_every is not None
+                    and cycle % checkpoint_every == 0
+                ):
+                    # Gather the global occupancy; rank 0 writes the
+                    # snapshot atomically.  Pure extra collectives — the
+                    # event streams (seed, rank, cycle, sector) are
+                    # untouched, so checkpointing never perturbs the
+                    # trajectory.
+                    with obs.phase("kmc.checkpoint"):
+                        gathered = comm.allgather(
+                            (owned, occ[central_rows].copy(), events)
+                        )
+                        if comm.rank == 0:
+                            from repro.io.checkpoint import save_kmc_checkpoint
+
+                            g_occ = np.empty(lattice.nsites, dtype=np.int8)
+                            total = events_base
+                            for g_owned, g_vals, g_events in gathered:
+                                g_occ[g_owned] = g_vals
+                                total += g_events
+                            save_kmc_checkpoint(
+                                checkpoint_path,
+                                g_occ,
+                                time=t,
+                                cycle=cycle,
+                                events=total,
+                            )
+                            obs.add("kmc.checkpoints_written")
             scheme.finalize()
-            total_events = comm.allreduce(events)
+            total_events = events_base + comm.allreduce(events)
             return {
                 "owned": owned,
                 "occ": occ[central_rows].copy(),
@@ -471,7 +613,12 @@ class ParallelAKMC:
                 "events": total_events,
             }
 
-        world = World(self.nranks, network=self.network)
+        world = World(
+            self.nranks,
+            network=self.network,
+            faults=self.faults,
+            watchdog=self.watchdog,
+        )
         results = world.run(rank_main)
         global_occ = np.empty(lattice.nsites, dtype=np.int8)
         for res in results:

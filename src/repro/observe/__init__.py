@@ -18,6 +18,18 @@ manager; render with :func:`format_report` (plain-text phase tree) or
 Dotted phase/counter names carry the subsystem as their first component
 (``md``, ``kmc``, ``runtime``, ``sunway``, ``coupled``); the runtime
 nesting of ``phase`` blocks — not the dots — defines the tree.
+
+Well-known fault-tolerance names (emitted by :mod:`repro.runtime.faults`
+and the recovery supervisor in :mod:`repro.core.coupling`):
+
+* counters ``runtime.faults.injected`` (plus per-kind
+  ``runtime.faults.crashes`` / ``.delays`` / ``.duplicates`` /
+  ``.stalls`` and ``runtime.faults.duplicates_dropped`` on delivery),
+  ``runtime.watchdog.expired``, ``runtime.recoveries``,
+  ``coupling.recover.from_checkpoint`` / ``.from_scratch``, and
+  ``kmc.checkpoints_written``;
+* phases ``coupling.recover`` (checkpoint restore during recovery) and
+  ``kmc.checkpoint`` (periodic snapshot writes).
 """
 
 from repro.observe.api import (

@@ -22,7 +22,16 @@ machine:
   cannot meaningfully provide.
 """
 
-from repro.runtime.simmpi import World, RankComm, ANY_SOURCE, ANY_TAG, Status
+from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.runtime.simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    RankComm,
+    Status,
+    WatchdogTimeout,
+    World,
+    WorldAborted,
+)
 from repro.runtime.window import Window
 from repro.runtime.stats import TrafficStats
 from repro.runtime.netmodel import NetworkModel
@@ -30,6 +39,8 @@ from repro.runtime.topology import CartesianTopology
 
 __all__ = [
     "World",
+    "WorldAborted",
+    "WatchdogTimeout",
     "RankComm",
     "ANY_SOURCE",
     "ANY_TAG",
@@ -38,4 +49,7 @@ __all__ = [
     "TrafficStats",
     "NetworkModel",
     "CartesianTopology",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
 ]

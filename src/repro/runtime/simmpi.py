@@ -24,12 +24,14 @@ All traffic is recorded in :class:`~repro.runtime.stats.TrafficStats`.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
 
 from repro import observe as obs
+from repro.runtime.faults import FaultInjector, FaultPlan, InjectedFault
 from repro.runtime.netmodel import NetworkModel
 from repro.runtime.stats import TrafficStats, payload_nbytes
 
@@ -41,6 +43,15 @@ ANY_TAG: int = -1
 
 class WorldAborted(RuntimeError):
     """Raised in surviving ranks when another rank failed."""
+
+
+class WatchdogTimeout(TimeoutError):
+    """A blocking recv/probe/collective exceeded the world's watchdog.
+
+    Only raised when the world was created with a ``watchdog`` deadline;
+    the default (``None``) leaves the blocking primitives deadline-free,
+    so hot paths pay nothing for the feature.
+    """
 
 
 @dataclass(frozen=True)
@@ -71,11 +82,30 @@ class _Mailbox:
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._queue: list[tuple[int, int, Any, int]] = []
+        self._seen_ids: set | None = None
 
-    def deposit(self, src: int, tag: int, payload, nbytes: int) -> None:
+    def deposit(
+        self, src: int, tag: int, payload, nbytes: int, msg_id=None
+    ) -> bool:
+        """Enqueue a message; returns ``False`` for a dropped duplicate.
+
+        ``msg_id`` is only passed by fault-injected sends: the transport
+        then behaves as an at-least-once network while delivery stays
+        exactly-once — a redelivered id is dropped here, never seen by
+        ``recv``.  The unfaulted path passes ``None`` and skips the
+        dedup bookkeeping entirely.
+        """
         with self._cond:
+            if msg_id is not None:
+                if self._seen_ids is None:
+                    self._seen_ids = set()
+                if msg_id in self._seen_ids:
+                    obs.add("runtime.faults.duplicates_dropped")
+                    return False
+                self._seen_ids.add(msg_id)
             self._queue.append((src, tag, payload, nbytes))
             self._cond.notify_all()
+        return True
 
     def _match_index(self, source: int, tag: int) -> int | None:
         for idx, (src, t, _payload, _n) in enumerate(self._queue):
@@ -83,13 +113,18 @@ class _Mailbox:
                 return idx
         return None
 
-    def take(self, source: int, tag: int, abort: threading.Event):
+    def take(
+        self, source: int, tag: int, abort: threading.Event,
+        deadline: float | None = None,
+    ):
         """Blocking consume of the first matching message.
 
         Waits on the mailbox condition without a polling timeout: a
         matching :meth:`deposit` or a world abort (:meth:`wake_all`)
         delivers the wakeup directly, so a blocked receive adds no
-        scheduling-interval floor to the latency.
+        scheduling-interval floor to the latency.  With a ``deadline``
+        (``time.monotonic()`` instant, from the world's watchdog) the
+        wait raises :class:`WatchdogTimeout` once it passes.
         """
         with self._cond:
             while True:
@@ -98,9 +133,10 @@ class _Mailbox:
                     return self._queue.pop(idx)
                 if abort.is_set():
                     raise WorldAborted("world aborted while waiting in recv")
-                self._cond.wait()
+                self._wait(deadline, "recv")
 
-    def peek(self, source: int, tag: int, abort: threading.Event):
+    def peek(self, source: int, tag: int, abort: threading.Event,
+             deadline: float | None = None):
         """Blocking probe of the first matching message (not consumed)."""
         with self._cond:
             while True:
@@ -109,7 +145,21 @@ class _Mailbox:
                     return self._queue[idx]
                 if abort.is_set():
                     raise WorldAborted("world aborted while waiting in probe")
-                self._cond.wait()
+                self._wait(deadline, "probe")
+
+    def _wait(self, deadline: float | None, op: str) -> None:
+        """One condition wait, bounded by the watchdog deadline if any."""
+        if deadline is None:
+            self._cond.wait()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self._cond.wait(timeout=remaining):
+            if deadline - time.monotonic() <= 0:
+                obs.add("runtime.watchdog.expired")
+                raise WatchdogTimeout(
+                    f"watchdog: no matching message arrived in {op} "
+                    "before the deadline"
+                )
 
     def wake_all(self) -> None:
         """Wake every blocked waiter (abort path; they re-check the flag)."""
@@ -135,18 +185,30 @@ class _Collectives:
         self.barrier = threading.Barrier(nranks)
         self.slots: list[Any] = [None] * nranks
 
-    def wait(self) -> None:
+    def wait(self, timeout: float | None = None) -> None:
+        """Barrier wait; ``timeout`` (watchdog) turns a hang into an error.
+
+        A rank whose own wait ran out raises :class:`WatchdogTimeout`;
+        ranks woken by the resulting broken barrier (or by a world
+        abort) raise :class:`WorldAborted` as before.
+        """
+        start = time.monotonic() if timeout is not None else 0.0
         try:
-            self.barrier.wait()
+            self.barrier.wait(timeout=timeout)
         except threading.BrokenBarrierError as exc:
+            if timeout is not None and time.monotonic() - start >= timeout:
+                obs.add("runtime.watchdog.expired")
+                raise WatchdogTimeout(
+                    f"watchdog: collective did not complete within {timeout}s"
+                ) from exc
             raise WorldAborted("world aborted during a collective") from exc
 
-    def exchange(self, rank: int, value) -> list:
+    def exchange(self, rank: int, value, timeout: float | None = None) -> list:
         """All ranks deposit a value; everyone gets the full list back."""
         self.slots[rank] = value
-        self.wait()
+        self.wait(timeout)
         out = list(self.slots)
-        self.wait()
+        self.wait(timeout)
         return out
 
 
@@ -171,20 +233,60 @@ class RankComm:
     # Two-sided messaging
     # ------------------------------------------------------------------
     def send(self, dest: int, tag: int, payload=None) -> None:
-        """Eager buffered send; returns immediately."""
+        """Eager buffered send; returns immediately.
+
+        When the world carries a fault plan the injector may impose a
+        sender-side delay (FIFO order per (source, tag) is preserved —
+        an MPI send is allowed to block) or deliver the message twice;
+        duplicates are deduplicated at the destination mailbox, so the
+        receiver still sees exactly-once delivery.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"destination rank {dest} out of range")
         if tag < 0:
             raise ValueError(f"tag must be non-negative, got {tag}")
+        inj = self.world.faults
+        action = inj.on_send(self.rank, dest, tag) if inj is not None else None
         nbytes = payload_nbytes(payload)
         self.world.stats.record_send(self.rank, dest, nbytes)
-        self.world.mailboxes[dest].deposit(self.rank, tag, _freeze(payload), nbytes)
+        frozen = _freeze(payload)
+        mailbox = self.world.mailboxes[dest]
+        if action is None:
+            mailbox.deposit(self.rank, tag, frozen, nbytes)
+            return
+        if action.delay_s > 0:
+            time.sleep(action.delay_s)
+        msg_id = action.msg_id if action.duplicate else None
+        mailbox.deposit(self.rank, tag, frozen, nbytes, msg_id)
+        if action.duplicate:
+            # The wire-level retransmission: metered as real traffic,
+            # dropped by the mailbox's id dedup before delivery.
+            self.world.stats.record_send(self.rank, dest, nbytes)
+            if not mailbox.deposit(self.rank, tag, frozen, nbytes, msg_id):
+                inj.record_dropped_duplicate()
+
+    def _deadline(self) -> float | None:
+        wd = self.world.watchdog
+        return None if wd is None else time.monotonic() + wd
+
+    def fault_point(self, site: str, index: int) -> None:
+        """Consult the world's fault plan at a named execution point.
+
+        Engines call this at their natural restart boundaries (e.g. the
+        AKMC drivers at the top of every cycle); a planned crash for
+        (rank, site, index) raises
+        :class:`~repro.runtime.faults.InjectedFault` here.  No-op when
+        the world carries no plan.
+        """
+        inj = self.world.faults
+        if inj is not None:
+            inj.crash_point(self.rank, site, index)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns ``(source, tag, payload)``."""
         with obs.phase("runtime.recv"):
             src, t, payload, nbytes = self.world.mailboxes[self.rank].take(
-                source, tag, self.world.abort
+                source, tag, self.world.abort, self._deadline()
             )
         self.world.stats.record_recv(self.rank, nbytes)
         return src, t, payload
@@ -193,7 +295,7 @@ class RankComm:
         """Blocking probe: envelope of the next matching message."""
         with obs.phase("runtime.probe"):
             src, t, _payload, nbytes = self.world.mailboxes[self.rank].peek(
-                source, tag, self.world.abort
+                source, tag, self.world.abort, self._deadline()
             )
         return Status(source=src, tag=t, nbytes=nbytes)
 
@@ -213,14 +315,16 @@ class RankComm:
         if self.rank == 0:
             self.world.stats.record_collective(0)
         with obs.phase("runtime.collective"):
-            self.world.collectives.wait()
+            self.world.collectives.wait(self.world.watchdog)
 
     def allgather(self, value) -> list:
         """Every rank contributes ``value``; all get the list by rank."""
         if self.rank == 0:
             self.world.stats.record_collective(payload_nbytes(value))
         with obs.phase("runtime.collective"):
-            return self.world.collectives.exchange(self.rank, _freeze(value))
+            return self.world.collectives.exchange(
+                self.rank, _freeze(value), self.world.watchdog
+            )
 
     def allreduce(self, value, op: str = "sum"):
         """Reduce ``value`` across ranks with ``op`` in {sum, min, max}.
@@ -281,24 +385,57 @@ class World:
         Cost model for the traffic accounting (defaults to a generic
         HPC interconnect; use :data:`repro.runtime.netmodel.SUNWAY_NETWORK`
         for the TaihuLight-flavored parameters).
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` (or an already
+        shared :class:`~repro.runtime.faults.FaultInjector`) that sends,
+        one-sided puts, and engine fault points consult.  ``None`` (the
+        default) keeps every hot path exactly as before.
+    watchdog:
+        Optional deadline in seconds for each blocking recv/probe/
+        collective; when exceeded the waiting rank raises
+        :class:`WatchdogTimeout` and the world aborts.  ``None`` (the
+        default) disables the deadline entirely — blocked waits stay
+        timer-free.
     """
 
-    def __init__(self, nranks: int, network: NetworkModel | None = None) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        network: NetworkModel | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
+        watchdog: float | None = None,
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if watchdog is not None and watchdog <= 0:
+            raise ValueError(f"watchdog must be positive, got {watchdog}")
         self.nranks = nranks
         self.stats = TrafficStats(nranks, network or NetworkModel())
         self.mailboxes = [_Mailbox() for _ in range(nranks)]
         self.collectives = _Collectives(nranks)
         self.abort = threading.Event()
+        self.faults = (
+            FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+        )
+        self.watchdog = watchdog
         self._errors: list[tuple[int, BaseException]] = []
         self._error_lock = threading.Lock()
 
-    def run(self, main: Callable[[RankComm], Any], timeout: float = 300.0) -> list:
+    def run(
+        self,
+        main: Callable[[RankComm], Any],
+        timeout: float = 300.0,
+        grace: float = 5.0,
+    ) -> list:
         """Execute ``main(comm)`` on every rank; return per-rank results.
 
         If any rank raises, the world is aborted (blocked ranks unblock
         with :class:`WorldAborted`) and the first error is re-raised.
+        A :class:`KeyboardInterrupt` raised inside a rank still aborts
+        the world but propagates to the caller as itself — an interrupt
+        is the user's request to stop, not a rank failure.  On timeout,
+        ranks get ``grace`` seconds to exit after the abort; any that
+        are still alive are named in the :class:`TimeoutError`.
         """
         results: list[Any] = [None] * self.nranks
         threads = []
@@ -325,10 +462,29 @@ class World:
         if any(t.is_alive() for t in threads):
             self.abort_world()
             for t in threads:
-                t.join(timeout=5.0)
-            raise TimeoutError(f"world of {self.nranks} ranks timed out")
+                t.join(timeout=grace)
+            alive = [t.name for t in threads if t.is_alive()]
+            if alive:
+                detail = (
+                    f"; {len(alive)} rank thread(s) still alive after a "
+                    f"{grace:g}s abort grace period (leaked): "
+                    + ", ".join(alive)
+                )
+            else:
+                detail = "; all ranks exited after the abort"
+            raise TimeoutError(
+                f"world of {self.nranks} ranks timed out after {timeout:g}s"
+                + detail
+            )
         if self._errors:
             rank, exc = self._errors[0]
+            for _rank, e in self._errors:
+                if isinstance(e, KeyboardInterrupt):
+                    raise e
+            if isinstance(exc, (InjectedFault, WatchdogTimeout)):
+                # Typed failures the recovery supervisor dispatches on;
+                # their messages already carry the rank and location.
+                raise exc
             raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
         return results
 

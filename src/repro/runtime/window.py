@@ -16,8 +16,10 @@ hands each rank whatever was put into its window during the epoch.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any
 
+from repro import observe as obs
 from repro.runtime.stats import payload_nbytes
 
 
@@ -28,6 +30,9 @@ class WindowShared:
         self.nranks = nranks
         self.lock = threading.Lock()
         self.pending: list[list[tuple[int, Any]]] = [[] for _ in range(nranks)]
+        #: Message ids already applied — dedup for fault-injected
+        #: duplicate puts (DMA retransmissions must stay idempotent).
+        self.seen_ids: set = set()
 
 
 class Window:
@@ -44,15 +49,44 @@ class Window:
         """Deposit ``payload`` in ``target``'s window; target not involved.
 
         Completion is only guaranteed after the next :meth:`fence`.
+        A fault plan on the world may stall the put (the DMA analogue of
+        a congested network engine) or retransmit it; retransmissions
+        are deduplicated by message id before they reach the window, so
+        the target drains each logical put exactly once.
         """
         if not 0 <= target < self.shared.nranks:
             raise ValueError(f"target rank {target} out of range")
         from repro.runtime.simmpi import _freeze
 
+        inj = self.comm.world.faults
+        action = (
+            inj.on_put(self.comm.rank, target) if inj is not None else None
+        )
         nbytes = payload_nbytes(payload)
         self.comm.stats.record_send(self.comm.rank, target, nbytes)
+        frozen = _freeze(payload)
+        if action is None:
+            with self.shared.lock:
+                self.shared.pending[target].append((self.comm.rank, frozen))
+            return
+        if action.stall_s > 0:
+            time.sleep(action.stall_s)
+        msg_id = action.msg_id if action.duplicate else None
+        self._append(target, (self.comm.rank, frozen), msg_id)
+        if action.duplicate:
+            self.comm.stats.record_send(self.comm.rank, target, nbytes)
+            if not self._append(target, (self.comm.rank, frozen), msg_id):
+                inj.record_dropped_duplicate()
+
+    def _append(self, target: int, entry, msg_id) -> bool:
         with self.shared.lock:
-            self.shared.pending[target].append((self.comm.rank, _freeze(payload)))
+            if msg_id is not None:
+                if msg_id in self.shared.seen_ids:
+                    obs.add("runtime.faults.duplicates_dropped")
+                    return False
+                self.shared.seen_ids.add(msg_id)
+            self.shared.pending[target].append(entry)
+        return True
 
     def fence(self) -> list[tuple[int, Any]]:
         """Synchronize the epoch; return ``(origin, payload)`` puts received.

@@ -163,3 +163,49 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "identical trajectories" in out
+
+
+class TestFaultFlags:
+    def test_coupled_with_faults_and_recovery(self, capsys, tmp_path):
+        """CI's fault-injection smoke: crash, recover, report, succeed."""
+        rc = main(
+            [
+                "coupled",
+                "--cells", "8",
+                "--seed", "3",
+                "--kmc-ranks", "2",
+                "--kmc-cycles", "6",
+                "--md-steps", "60",
+                "--faults", "crash:rank=1,cycle=3",
+                "--checkpoint-every", "2",
+                "--checkpoint-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault plan: crash rank 1 at kmc.cycle[3]" in out
+        assert "faults injected: 1 (1 crashes" in out
+        assert "recoveries: 1" in out
+        assert (tmp_path / "kmc_checkpoint.npz").exists()
+
+    def test_bad_fault_plan_exits_2(self, capsys):
+        rc = main(
+            ["coupled", "--faults", "explode:rank=0,cycle=1"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "bad --faults plan" in err
+        assert "explode" in err
+
+    def test_watchdog_flag_accepted(self, capsys):
+        rc = main(
+            [
+                "coupled",
+                "--cells", "6",
+                "--events", "30",
+                "--kmc-ranks", "0",
+                "--watchdog", "30",
+            ]
+        )
+        assert rc == 0
+        assert "after KMC" in capsys.readouterr().out

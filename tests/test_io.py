@@ -129,3 +129,75 @@ class TestCheckpoint:
         other = MDEngine(lattice5, potential)
         with pytest.raises(CheckpointError, match="lattice mismatch"):
             load_checkpoint(path, other)
+
+
+class TestKMCCheckpoint:
+    def _occ(self, n=128):
+        rng = np.random.default_rng(4)
+        occ = np.zeros(n, dtype=np.int8)
+        occ[rng.choice(n, size=9, replace=False)] = 1
+        return occ
+
+    def test_roundtrip(self, tmp_path):
+        from repro.io.checkpoint import (
+            load_kmc_checkpoint,
+            save_kmc_checkpoint,
+        )
+
+        occ = self._occ()
+        path = tmp_path / "kmc.npz"
+        save_kmc_checkpoint(
+            path, occ, time=1.5, cycle=7, events=42, rng_state=None
+        )
+        ckpt = load_kmc_checkpoint(path)
+        np.testing.assert_array_equal(ckpt.occupancy, occ)
+        assert (ckpt.time, ckpt.cycle, ckpt.events) == (1.5, 7, 42)
+        assert ckpt.rng_state is None
+        # Atomic write: no .tmp sibling left behind.
+        assert not list(tmp_path.glob("*.tmp.npz"))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        from repro.io.checkpoint import load_kmc_checkpoint
+
+        path = tmp_path / "bogus.npz"
+        np.savez(path, format="something-else", occupancy=self._occ())
+        with pytest.raises(CheckpointError):
+            load_kmc_checkpoint(path)
+
+    def test_md_checkpoint_is_not_a_kmc_checkpoint(self, tmp_path, potential):
+        from repro.io.checkpoint import load_kmc_checkpoint
+
+        engine = MDEngine(
+            BCCLattice(5, 5, 5), potential, MDConfig(temperature=300.0, seed=1)
+        )
+        engine.initialize()
+        path = tmp_path / "md.npz"
+        save_checkpoint(path, engine)
+        with pytest.raises(CheckpointError):
+            load_kmc_checkpoint(path)
+
+    def test_rng_state_roundtrip(self, tmp_path):
+        from repro.io.checkpoint import (
+            load_kmc_checkpoint,
+            restore_rng_state,
+            rng_state_json,
+            save_kmc_checkpoint,
+        )
+
+        rng = np.random.default_rng(77)
+        rng.random(13)  # advance past the seed point
+        path = tmp_path / "rng.npz"
+        save_kmc_checkpoint(
+            path, self._occ(), time=0.0, rng_state=rng_state_json(rng)
+        )
+        expected = rng.random(5)
+
+        fresh = np.random.default_rng(0)
+        restore_rng_state(fresh, load_kmc_checkpoint(path).rng_state)
+        np.testing.assert_array_equal(fresh.random(5), expected)
+
+    def test_bad_rng_state_rejected(self):
+        from repro.io.checkpoint import restore_rng_state
+
+        with pytest.raises(CheckpointError):
+            restore_rng_state(np.random.default_rng(0), "not json at all")

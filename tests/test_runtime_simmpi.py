@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.runtime.simmpi import ANY_SOURCE, World
+from repro.runtime.simmpi import ANY_SOURCE, World, WorldAborted
 
 
 class TestMessaging:
@@ -251,3 +251,98 @@ class TestFailures:
     def test_results_indexed_by_rank(self):
         results = World(7).run(lambda comm: comm.rank**2)
         assert results == [r**2 for r in range(7)]
+
+
+class TestAbortRecoveryContract:
+    """The failure-semantics contract the recovery supervisor builds on."""
+
+    def test_raise_mid_collective_delivers_worldaborted_to_all_peers(self):
+        # Every surviving rank blocked in the collective must come back
+        # with WorldAborted (not hang, not see a partial exchange).
+        import threading
+
+        seen = []
+        seen_lock = threading.Lock()
+
+        def main(comm):
+            if comm.rank == 2:
+                raise RuntimeError("rank 2 dies mid-collective")
+            try:
+                comm.allgather(comm.rank)
+            except WorldAborted as exc:
+                with seen_lock:
+                    seen.append((comm.rank, type(exc).__name__))
+                raise
+
+        with pytest.raises(RuntimeError, match="rank 2 dies"):
+            World(4).run(main)
+        assert sorted(r for r, _ in seen) == [0, 1, 3]
+        assert all(name == "WorldAborted" for _, name in seen)
+
+    def test_raise_mid_recv_delivers_worldaborted_to_all_peers(self):
+        import threading
+
+        seen = []
+        seen_lock = threading.Lock()
+
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            try:
+                comm.recv()
+            except WorldAborted:
+                with seen_lock:
+                    seen.append(comm.rank)
+                raise
+
+        with pytest.raises(RuntimeError, match="boom"):
+            World(3).run(main)
+        assert sorted(seen) == [1, 2]
+
+    def test_keyboard_interrupt_propagates_unwrapped(self):
+        # An interrupt is the user's request to stop — it must reach the
+        # caller as KeyboardInterrupt, not be reported as a rank failure.
+        def main(comm):
+            if comm.rank == 0:
+                raise KeyboardInterrupt
+            comm.recv()
+
+        with pytest.raises(KeyboardInterrupt):
+            World(2).run(main)
+
+    def test_keyboard_interrupt_still_unblocks_peers(self):
+        import time
+
+        def main(comm):
+            if comm.rank == 0:
+                raise KeyboardInterrupt
+            comm.recv()
+
+        t0 = time.perf_counter()
+        with pytest.raises(KeyboardInterrupt):
+            World(4).run(main)
+        assert time.perf_counter() - t0 < 2.0
+
+    def test_timeout_reports_still_alive_ranks(self):
+        # A rank that ignores the abort (stuck in non-runtime code) must
+        # be named in the TimeoutError instead of silently leaking.
+        import time
+
+        def main(comm):
+            if comm.rank == 1:
+                time.sleep(1.5)  # longer than timeout + grace
+            return comm.rank
+
+        with pytest.raises(TimeoutError, match="simmpi-rank-1"):
+            World(2).run(main, timeout=0.2, grace=0.2)
+
+    def test_timeout_message_when_ranks_exit_after_abort(self):
+        # Ranks blocked in the runtime DO exit on abort: the message
+        # says so instead of naming leaked threads.
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv()  # blocks forever; woken by the abort
+            return comm.rank
+
+        with pytest.raises(TimeoutError, match="all ranks exited"):
+            World(2).run(main, timeout=0.2, grace=1.0)
