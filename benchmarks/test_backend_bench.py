@@ -1,0 +1,113 @@
+"""Benchmark: simmpi thread vs process backend on real workloads.
+
+The process backend exists to buy genuine multi-core parallelism: on a
+multi-core host the fig10-style damage-MD strong-scaling point at 4
+ranks must beat its own 1-rank time by >= 2x (acceptance criterion),
+while the thread backend — GIL-serialized — stays roughly flat.  Both
+backends must produce bit-identical trajectories everywhere, which is
+asserted unconditionally; the speedup assertion is gated on the host
+actually having >= 4 cores (CI runners qualify, 1-core sandboxes skip).
+
+Wall-clock numbers per backend land in the observe gauges, so a
+``REPRO_BENCH_PHASES`` run exports them in the per-test JSON artifact.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro import observe as obs
+from repro.experiments import fig10_md_strong_scaling
+from repro.runtime.procbackend import fork_available
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="process backend needs the fork start method"
+)
+
+
+@needs_fork
+def test_fig10_backend_strong_scaling(benchmark):
+    """The fig10 measured point: 1 vs 4 ranks, thread vs process."""
+    results = {}
+
+    def measure():
+        for backend in ("thread", "process"):
+            results[backend] = fig10_md_strong_scaling.run_measured(
+                cells=8, nsteps=15, ranks_list=(1, 4), backend=backend
+            )
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for backend, result in results.items():
+        assert result["deterministic"], (
+            f"{backend}: rank counts disagreed on the trajectory"
+        )
+        for row in result["rows"]:
+            rows.append({"backend": backend, **row})
+            obs.set_gauge(
+                f"bench.backend.{backend}.ranks{row['ranks']}.wall_s",
+                row["wall_s"],
+            )
+    print_rows(
+        "Figure 10 measured: damage MD strong scaling per backend",
+        rows,
+        ["backend", "ranks", "wall_s", "speedup", "efficiency"],
+    )
+    # Both backends computed the same problem: cross-backend fingerprints
+    # were already folded into each result's determinism check above via
+    # identical (cells, nsteps, seed); assert the timing claim only where
+    # the hardware can deliver it.
+    cores = _usable_cores()
+    speedup4 = results["process"]["rows"][-1]["speedup"]
+    obs.set_gauge("bench.backend.process.speedup_4ranks", speedup4)
+    print(f"process backend 4-rank speedup: {speedup4:.2f}x on {cores} cores")
+    if cores >= 4:
+        assert speedup4 >= 2.0, (
+            f"process backend managed only {speedup4:.2f}x at 4 ranks "
+            f"on a {cores}-core host (acceptance floor: 2x)"
+        )
+    else:
+        pytest.skip(
+            f"speedup assertion needs >= 4 cores, host has {cores} "
+            f"(measured {speedup4:.2f}x)"
+        )
+
+
+@needs_fork
+def test_backend_bit_identity_smoke(benchmark):
+    """Thread and process backends agree bit-for-bit on the same problem."""
+    from repro.lattice.bcc import BCCLattice
+    from repro.md.engine import MDConfig
+    from repro.md.parallel_damage import ParallelDamageMD
+
+    def both():
+        out = {}
+        for backend in ("thread", "process"):
+            engine = ParallelDamageMD(
+                BCCLattice(6, 6, 6),
+                config=MDConfig(temperature=300.0, seed=3),
+                nranks=4,
+                backend=backend,
+            )
+            out[backend] = engine.run(
+                10, pka=(10, np.array([50.0, 30.0, 20.0]))
+            )
+        return out
+
+    out = benchmark.pedantic(both, rounds=1, iterations=1)
+    t, p = out["thread"], out["process"]
+    assert np.array_equal(t.positions, p.positions)
+    assert np.array_equal(t.velocities, p.velocities)
+    assert np.array_equal(t.vacancy_ranks, p.vacancy_ranks)
+    assert np.array_equal(t.runaway_ids, p.runaway_ids)

@@ -132,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
             "parallel KMC runtime (default: no deadline)"
         ),
     )
+    coupled.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help=(
+            "execution backend for the parallel KMC ranks: 'thread' "
+            "(default) or 'process' (one OS process per rank, real "
+            "multi-core parallelism; results are bit-identical); "
+            "the REPRO_BACKEND environment variable sets the default"
+        ),
+    )
     _add_observe_flags(coupled)
 
     cascade = sub.add_parser("cascade", help="run one MD cascade")
@@ -150,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
     schemes.add_argument("--cycles", type=int, default=8)
     schemes.add_argument("--vacancies", type=int, default=20)
     schemes.add_argument("--seed", type=int, default=5)
+    schemes.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help="simmpi execution backend (default: REPRO_BACKEND or thread)",
+    )
     _add_observe_flags(schemes)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -262,6 +279,7 @@ def cmd_coupled(args) -> int:
             cascade=cascade_cfg,
             kmc_max_events=args.events,
             kmc_nranks=kmc_nranks,
+            kmc_backend=args.backend,
             kmc_max_cycles=args.kmc_cycles,
             seed=args.seed,
             sunway_model=profiling,
@@ -357,6 +375,7 @@ def cmd_kmc_schemes(args) -> int:
             nranks=args.ranks,
             scheme=scheme,
             seed=args.seed,
+            backend=args.backend,
         )
         result = engine.run(occ0, max_cycles=args.cycles)
         stats = result.comm_stats

@@ -59,6 +59,9 @@ class CoupledConfig:
     kmc_nranks / kmc_scheme:
         When ``kmc_nranks`` is set the KMC stage runs on the parallel
         engine with the chosen communication scheme.
+    kmc_backend:
+        Execution backend for the parallel KMC world (``"thread"`` /
+        ``"process"``; ``None`` defers to ``REPRO_BACKEND``).
     kmc_max_cycles:
         Parallel KMC cycle budget.
     seed:
@@ -109,6 +112,7 @@ class CoupledConfig:
     kmc_max_events: int = 500
     kmc_nranks: int | None = None
     kmc_scheme: str = "ondemand"
+    kmc_backend: str | None = None
     kmc_max_cycles: int = 50
     seed: int = 2018
     table_points: int = 2000
@@ -316,6 +320,7 @@ class CoupledSimulation:
             seed=cfg.seed,
             faults=injector,
             watchdog=cfg.watchdog,
+            backend=cfg.kmc_backend,
         )
         occ0 = resume.occupancy if resume is not None else occupancy
         return engine.run(

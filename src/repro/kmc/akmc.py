@@ -26,6 +26,7 @@ from repro.kmc.events import VACANCY, KMCModel, RateParameters
 from repro.kmc.ondemand import OnDemandExchange
 from repro.kmc.onesided import OneSidedExchange
 from repro.kmc.rng import sector_rng
+from repro.kmc.selection import select_event
 from repro.kmc.sublattice import SectorSchedule
 from repro.lattice.bcc import BCCLattice
 from repro.lattice.domain import DomainDecomposition, choose_grid
@@ -196,8 +197,7 @@ class SerialAKMC:
             rates = np.asarray(all_r)
             total = float(rates.sum())
             dt = -math.log(self.rng.random()) / total
-            pick = np.searchsorted(np.cumsum(rates), self.rng.random() * total)
-            pick = min(pick, len(rates) - 1)
+            pick = select_event(rates, self.rng.random())
             self.model.execute_swap(self.occ, all_v[pick], all_t[pick])
             for row in self.model.influence_rows([all_v[pick], all_t[pick]]):
                 self._rate_cache.pop(int(row), None)
@@ -326,8 +326,7 @@ def _sector_events_flat(model, occ, rows_s, rng, dt) -> tuple[list[int], int]:
             t_sector += -math.log(rng.random()) / total
             if t_sector > dt:
                 break
-            pick = np.searchsorted(np.cumsum(rates), rng.random() * total)
-            pick = min(pick, len(rates) - 1)
+            pick = select_event(rates, rng.random())
             model.execute_swap(occ, ev_v[pick], ev_t[pick])
             for row in model.influence_rows([ev_v[pick], ev_t[pick]]):
                 cache.pop(int(row), None)
@@ -422,6 +421,10 @@ class ParallelAKMC:
     watchdog:
         Optional per-wait deadline (seconds) for the world's blocking
         recv/probe/collectives; ``None`` keeps them deadline-free.
+    backend:
+        Execution backend for the :class:`World`: ``"thread"``,
+        ``"process"``, or ``None`` to defer to ``REPRO_BACKEND`` /
+        thread.  Trajectories are bit-identical across backends.
     """
 
     def __init__(
@@ -437,6 +440,7 @@ class ParallelAKMC:
         use_catalog: bool = True,
         faults=None,
         watchdog: float | None = None,
+        backend: str | None = None,
     ) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {list(SCHEMES)}")
@@ -454,6 +458,7 @@ class ParallelAKMC:
         self.use_catalog = use_catalog
         self.faults = faults
         self.watchdog = watchdog
+        self.backend = backend
         self.width = ghost_width_cells(lattice, self.params)
 
     @property
@@ -618,6 +623,7 @@ class ParallelAKMC:
             network=self.network,
             faults=self.faults,
             watchdog=self.watchdog,
+            backend=self.backend,
         )
         results = world.run(rank_main)
         global_occ = np.empty(lattice.nsites, dtype=np.int8)

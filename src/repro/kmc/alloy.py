@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.constants import KB_EV
 from repro.kmc.events import build_static_matrix
+from repro.kmc.selection import select_event
 from repro.lattice.bcc import BCCLattice
 from repro.potential.alloy import AlloyTables, make_fe_cu_alloy
 
@@ -336,10 +337,7 @@ class AlloySerialAKMC:
         rates = np.asarray(all_r)
         total = float(rates.sum())
         dt = -math.log(self.rng.random()) / total
-        pick = int(
-            np.searchsorted(np.cumsum(rates), self.rng.random() * total)
-        )
-        pick = min(pick, len(rates) - 1)
+        pick = select_event(rates, self.rng.random())
         self.model.execute_swap(self.occ, all_v[pick], all_t[pick])
         for row in self.model.influence_rows([all_v[pick], all_t[pick]]):
             self._cache.pop(int(row), None)

@@ -1,0 +1,63 @@
+"""Shared BKL event selection over a flat rate vector.
+
+Historically the serial AKMC driver, the sector-synchronous flat path,
+and the alloy engine each carried their own copy of the idiom::
+
+    pick = np.searchsorted(np.cumsum(rates), u * rates.sum())
+    pick = min(pick, len(rates) - 1)
+
+which harbours a physical bug: NumPy's pairwise ``sum`` and the
+sequential ``cumsum`` can disagree in the last ulp, so ``u * total`` may
+land *past* the final cumulative value.  The blind clamp then returns
+the last index regardless of its rate — and when the event list ends in
+a zero-rate entry, a physically forbidden event executes.  The
+incremental :class:`~repro.kmc.catalog.EventCatalog` fixed this for the
+catalog paths (PR 2); :func:`select_event` extracts the same
+rightmost-positive clamp for every flat selector, so all engines share
+one correct implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_event"]
+
+
+def select_event(rates: np.ndarray, u: float) -> int:
+    """Index of the event at cumulative rate mass ``u * sum(rates)``.
+
+    Selection follows the BKL residence-time rule: event ``i`` owns the
+    half-open interval ``[cum[i-1], cum[i])`` of the cumulative rate
+    line, and ``u`` (uniform in ``[0, 1)``) picks the interval containing
+    ``u * total``.  Two guarantees the naive ``searchsorted`` + clamp
+    lacks:
+
+    * a zero-rate event is **never** selected — if floating-point
+      round-off pushes the target past the last positive cumulative
+      value (pairwise ``sum`` vs sequential ``cumsum`` disagreeing in
+      the last ulp), the rightmost event with positive rate is taken,
+      matching :meth:`repro.kmc.catalog.EventCatalog.sample`;
+    * ``u == 0.0`` with leading zero-rate events selects the first
+      positive-rate event, not index 0.
+
+    Raises ``ValueError`` when the vector is empty or carries no
+    positive rate (callers check the total before drawing ``u``).
+    """
+    rates = np.asarray(rates, dtype=float)
+    n = len(rates)
+    if n == 0:
+        raise ValueError("cannot select from an empty rate vector")
+    total = float(np.sum(rates))
+    if not total > 0.0:
+        raise ValueError("cannot select an event from a zero total rate")
+    cum = np.cumsum(rates)
+    idx = int(np.searchsorted(cum, u * total, side="right"))
+    if idx >= n:
+        idx = n - 1
+    # Only the round-off overshoot lands on a zero-rate entry (inside the
+    # range, searchsorted's first-strictly-greater index always has
+    # positive rate); fall back to the rightmost positive-rate event.
+    while idx > 0 and not rates[idx] > 0.0:
+        idx -= 1
+    return idx

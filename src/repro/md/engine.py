@@ -224,6 +224,7 @@ class ParallelMD:
         grid: tuple[int, int, int] | None = None,
         nranks: int | None = None,
         network=None,
+        backend: str | None = None,
     ) -> None:
         self.lattice = lattice
         self.config = config or MDConfig()
@@ -237,6 +238,7 @@ class ParallelMD:
         self.decomp = DomainDecomposition(lattice, grid)
         self.box = Box.for_lattice(lattice)
         self.network = network
+        self.backend = backend
 
     @property
     def nranks(self) -> int:
@@ -339,7 +341,7 @@ class ParallelMD:
                 "energy_trace": energy_trace,
             }
 
-        world = World(self.nranks, network=self.network)
+        world = World(self.nranks, network=self.network, backend=self.backend)
         results = world.run(rank_main)
         # Stitch the global arrays back together in site-rank order.
         nsites = lattice.nsites

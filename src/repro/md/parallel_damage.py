@@ -95,6 +95,7 @@ class ParallelDamageMD:
         grid: tuple[int, int, int] | None = None,
         nranks: int | None = None,
         network=None,
+        backend: str | None = None,
     ) -> None:
         self.lattice = lattice
         self.config = config or MDConfig()
@@ -108,6 +109,7 @@ class ParallelDamageMD:
         self.decomp = DomainDecomposition(lattice, grid)
         self.box = Box.for_lattice(lattice)
         self.network = network
+        self.backend = backend
 
     @property
     def nranks(self) -> int:
@@ -389,7 +391,7 @@ class ParallelDamageMD:
                 "runaway_x": np.array([a.x for a in runs]).reshape(-1, 3),
             }
 
-        world = World(self.nranks, network=self.network)
+        world = World(self.nranks, network=self.network, backend=self.backend)
         results = world.run(rank_main)
         nsites = lattice.nsites
         x = np.zeros((nsites, 3))

@@ -153,6 +153,74 @@ class Registry:
                     self.dropped_events += 1
 
     # ------------------------------------------------------------------
+    # Cross-process aggregation (the simmpi process backend)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Everything a child process measured, as one picklable dict.
+
+        ``t0`` is the registry's absolute ``time.perf_counter()`` origin:
+        on Linux that clock is ``CLOCK_MONOTONIC``, shared across
+        processes, so a parent registry can rebase the child's trace
+        timestamps onto its own origin exactly.
+        """
+        with self._lock:
+            return {
+                "t0": self._t0,
+                "phases": {
+                    path: (stat.count, stat.total, stat.min, stat.max)
+                    for path, stat in self.phases.items()
+                },
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "events": [(e.name, e.ts, e.dur, e.tid) for e in self.events],
+                "thread_names": dict(self.thread_names),
+                "dropped_events": self.dropped_events,
+            }
+
+    def absorb_state(self, state: dict, label: str = "") -> None:
+        """Merge an :meth:`export_state` dict from another process.
+
+        Phase aggregates and counters sum, gauges take the child's
+        latest value, and trace events are rebased onto this registry's
+        time origin.  Child thread ids are remapped to fresh synthetic
+        ids (raw ids can collide across processes); ``label`` prefixes
+        the remapped thread names (e.g. ``"rank2/"``).
+        """
+        offset = state["t0"] - self._t0
+        with self._lock:
+            for path, (count, total, mn, mx) in state["phases"].items():
+                stat = self.phases.get(path)
+                if stat is None:
+                    stat = self.phases[path] = PhaseStat()
+                stat.count += count
+                stat.total += total
+                stat.min = min(stat.min, mn)
+                stat.max = max(stat.max, mx)
+            for name, value in state["counters"].items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            self.gauges.update(state["gauges"])
+            tid_map: dict[int, int] = {}
+            next_tid = max(self.thread_names, default=0) + 1_000_000
+            for tid, name in state["thread_names"].items():
+                new = tid_map[tid] = next_tid
+                next_tid += 1
+                self.thread_names[new] = f"{label}{name}"
+            if self._trace:
+                for name, ts, dur, tid in state["events"]:
+                    if len(self.events) < self._max_events:
+                        self.events.append(
+                            TraceEvent(
+                                name=name,
+                                ts=ts + offset,
+                                dur=dur,
+                                tid=tid_map.get(tid, tid),
+                            )
+                        )
+                    else:
+                        self.dropped_events += 1
+            self.dropped_events += state["dropped_events"]
+
+    # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
     def elapsed(self) -> float:

@@ -287,12 +287,18 @@ class FaultInjector:
         self._puts: dict[int, int] = {}
         self._shake_rng: dict[int, np.random.Generator] = {}
         self._next_msg_id = 0
+        #: Namespace for allocated message ids.  The thread backend keeps
+        #: the default 0 (one shared injector); the process backend sets
+        #: it to ``rank + 1`` in each forked child, so ids allocated by
+        #: independent per-process injector copies never collide at the
+        #: delivery-side dedup.
+        self.msg_id_tag = 0
         self.counters = _Counters()
 
     # ------------------------------------------------------------------
     def _alloc_msg_id(self) -> tuple:
         self._next_msg_id += 1
-        return ("fault-dup", self._next_msg_id)
+        return ("fault-dup", self.msg_id_tag, self._next_msg_id)
 
     def _rank_shake_rng(self, rank: int) -> np.random.Generator:
         rng = self._shake_rng.get(rank)
@@ -403,6 +409,56 @@ class FaultInjector:
         """Called by the delivery layers when an id-dedup drops a message."""
         with self._lock:
             self.counters.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Cross-process state transfer (the simmpi process backend)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Fired specs, operation ordinals, and counters — picklable.
+
+        A forked child's injector copy mutates independently of the
+        parent's; the child ships this dict back at exit so the parent
+        injector stays the single source of truth (crash one-shot-ness
+        must survive a recovery supervisor re-running the world).
+        """
+        with self._lock:
+            c = self.counters
+            return {
+                "fired": sorted(self._fired),
+                "sends": dict(self._sends),
+                "puts": dict(self._puts),
+                "counters": {
+                    "crashes": c.crashes,
+                    "delays": c.delays,
+                    "duplicates": c.duplicates,
+                    "stalls": c.stalls,
+                    "dropped": c.dropped,
+                },
+            }
+
+    def absorb_state(self, state: dict, base: dict | None = None) -> None:
+        """Merge a child injector's :meth:`export_state` into this one.
+
+        ``base`` is the child's export at fork time (i.e. this
+        injector's state when the world started): counters are absorbed
+        as deltas against it so inherited history is not double-counted.
+        Send/put ordinals are per-rank and each rank runs in exactly one
+        child, so the child's absolute value replaces the parent's.
+        """
+        with self._lock:
+            self._fired.update(int(i) for i in state["fired"])
+            for rank, n in state["sends"].items():
+                if n > self._sends.get(rank, 0):
+                    self._sends[rank] = n
+            for rank, n in state["puts"].items():
+                if n > self._puts.get(rank, 0):
+                    self._puts[rank] = n
+            base_counters = (base or {}).get("counters", {})
+            c = self.counters
+            for key, value in state["counters"].items():
+                delta = value - base_counters.get(key, 0)
+                if delta > 0:
+                    setattr(c, key, getattr(c, key) + delta)
 
     def snapshot(self) -> dict:
         """Counters of everything injected so far (for reports/results)."""

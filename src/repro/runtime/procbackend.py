@@ -1,0 +1,704 @@
+"""True multi-process execution backend for the simmpi runtime.
+
+The default backend of :class:`~repro.runtime.simmpi.World` runs every
+rank as a Python *thread*: correct, fast to spawn, but serialized by the
+GIL wherever the force and rate kernels run Python-level code — a
+strong-scaling experiment on the thread backend measures scheduling, not
+speedup.  This module provides ``backend="process"``: each rank becomes
+a forked OS process, so MD force work and KMC rate kernels genuinely run
+in parallel on multi-core hosts, while the whole ``RankComm`` /
+``Window`` API — two-sided messaging with MPI matching semantics,
+collectives, one-sided windows, fault injection, watchdog deadlines,
+traffic accounting, and observe phases — behaves identically.
+
+Transport
+---------
+* **Two-sided**: every rank owns one ``multiprocessing.Queue`` inbox.  A
+  daemon *pump thread* inside each child drains the inbox into the same
+  :class:`~repro.runtime.simmpi._Mailbox` the thread backend uses, so
+  wildcard matching, per-(source, tag) FIFO, watchdog deadlines, and
+  abort wakeups are literally the same code.
+* **Collectives**: a sequence-tagged gather queue into rank 0 plus
+  per-rank broadcast queues; every rank executes collectives in the same
+  program order (an MPI requirement), so the sequence numbers agree and
+  concurrent epochs cannot interleave.  Barriers use a shared
+  ``multiprocessing.Barrier``.
+* **One-sided**: puts travel through the target's inbox tagged with a
+  window id; the fence exchanges per-target put *counts* first, then
+  drains exactly that many entries per origin — robust against queue
+  feeder-thread latency, FIFO per origin, deduplicated by message id
+  for fault-injected duplicate puts.
+
+Aggregation at join
+-------------------
+Each child records into its own :class:`TrafficStats`, observe
+:class:`~repro.observe.registry.Registry`, and (forked copy of the)
+:class:`~repro.runtime.faults.FaultInjector`; at exit it ships those
+registries through a result pipe and the parent merges them, so
+``world.stats``, the active observe registry, and the shared injector
+end up equivalent to a thread-backend run.  Fired crash specs are merged
+back too: a recovery supervisor re-running the world forks the injector
+*with* the fired set, so planned crashes stay one-shot across recovery
+attempts exactly as on the thread backend.
+
+Determinism
+-----------
+Engines address receives by explicit (source, tag) and collectives
+return rank-ordered lists, so a deterministic program produces results
+bit-identical to the thread backend — asserted by the backend-parity
+tests for all three parallel-KMC schemes and the distributed damage MD.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as _stdlib_queue
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as _mpconn
+
+from repro import observe as obs
+from repro.runtime.simmpi import (
+    RankComm,
+    WatchdogTimeout,
+    WorldAborted,
+    _freeze,
+    _Mailbox,
+)
+from repro.runtime.stats import TrafficStats, payload_nbytes
+
+#: Envelope kinds carried by the per-rank inbox queues.
+_MSG = "msg"
+_WIN = "win"
+_ABORT = "abort"
+_QUIESCE = "quiesce"
+#: Envelope kind of the collective queues.
+_EXCHANGE = "x"
+
+
+def fork_available() -> bool:
+    """Whether the platform can run the process backend (needs fork)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _Endpoints:
+    """All shared transport state, created in the parent before forking."""
+
+    def __init__(self, ctx, nranks: int) -> None:
+        self.nranks = nranks
+        self.inboxes = [ctx.Queue() for _ in range(nranks)]
+        self.gather_q = ctx.Queue()
+        self.bcast_qs = [ctx.Queue() for _ in range(nranks)]
+        self.barrier = ctx.Barrier(nranks)
+
+
+def _abort_all(endpoints: _Endpoints) -> None:
+    """Wake every blocking primitive of every rank (parent-side abort)."""
+    try:
+        endpoints.barrier.abort()
+    except (ValueError, OSError):  # pragma: no cover - already torn down
+        pass
+    for q in endpoints.inboxes:
+        q.put((_ABORT,))
+    for q in endpoints.bcast_qs:
+        q.put((_ABORT,))
+    for _ in range(endpoints.nranks):
+        endpoints.gather_q.put((_ABORT,))
+
+
+def _get_checked(q, deadline: float | None, op: str):
+    """Blocking queue get honoring the watchdog deadline and abort sentinels."""
+    while True:
+        if deadline is None:
+            item = q.get()
+        else:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                obs.add("runtime.watchdog.expired")
+                raise WatchdogTimeout(
+                    f"watchdog: {op} did not complete before the deadline"
+                )
+            try:
+                item = q.get(timeout=remaining)
+            except _stdlib_queue.Empty:
+                continue
+        if item[0] == _ABORT:
+            raise WorldAborted(f"world aborted while waiting in {op}")
+        return item
+
+
+class _ProcessCollectives:
+    """Sequence-tagged gather/broadcast collectives over shared queues.
+
+    Every rank calls the collectives in identical program order (MPI
+    semantics the engines already rely on), so a per-rank local sequence
+    counter agrees across ranks and rank 0 can sort early arrivals of a
+    *later* exchange into a holding buffer instead of corrupting the
+    current one.
+    """
+
+    def __init__(self, endpoints: _Endpoints, rank: int) -> None:
+        self.nranks = endpoints.nranks
+        self.rank = rank
+        self.barrier = endpoints.barrier
+        self.gather_q = endpoints.gather_q
+        self.bcast_qs = endpoints.bcast_qs
+        self._seq = 0
+        self._early: dict[int, dict[int, object]] = {}
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Barrier wait; same watchdog/abort mapping as the thread backend."""
+        start = time.monotonic() if timeout is not None else 0.0
+        try:
+            self.barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            if timeout is not None and time.monotonic() - start >= timeout:
+                obs.add("runtime.watchdog.expired")
+                raise WatchdogTimeout(
+                    f"watchdog: collective did not complete within {timeout}s"
+                ) from exc
+            raise WorldAborted("world aborted during a collective") from exc
+
+    def exchange(self, rank: int, value, timeout: float | None = None) -> list:
+        """All ranks deposit a value; everyone gets the rank-ordered list."""
+        seq = self._seq
+        self._seq += 1
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self.gather_q.put((_EXCHANGE, seq, rank, value))
+        if rank == 0:
+            slots = self._early.setdefault(seq, {})
+            while len(slots) < self.nranks:
+                _kind, s, r, v = _get_checked(
+                    self.gather_q, deadline, "collective"
+                )
+                self._early.setdefault(s, {})[r] = v
+            self._early.pop(seq)
+            full = [slots[r] for r in range(self.nranks)]
+            for q in self.bcast_qs:
+                q.put((_EXCHANGE, seq, full))
+        _kind, s, full = _get_checked(
+            self.bcast_qs[rank], deadline, "collective"
+        )
+        if s != seq:  # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"collective sequence mismatch: expected {seq}, got {s}"
+            )
+        return list(full)
+
+
+class _WindowHub:
+    """Per-process store of delivered one-sided puts, keyed by window."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: window id -> origin rank -> FIFO of (payload, nbytes).
+        self._buffers: dict[int, dict[int, deque]] = {}
+        self._seen_ids: set = set()
+
+    def deliver(self, win_id, origin, payload, nbytes, msg_id, injector) -> None:
+        with self._cond:
+            if msg_id is not None:
+                if msg_id in self._seen_ids:
+                    obs.add("runtime.faults.duplicates_dropped")
+                    if injector is not None:
+                        injector.record_dropped_duplicate()
+                    return
+                self._seen_ids.add(msg_id)
+            per_origin = self._buffers.setdefault(win_id, {})
+            per_origin.setdefault(origin, deque()).append((payload, nbytes))
+            self._cond.notify_all()
+
+    def take(self, win_id, origin, count, abort, deadline) -> list:
+        """Blocking take of exactly ``count`` puts from ``origin``."""
+        out: list = []
+        with self._cond:
+            while True:
+                buf = self._buffers.setdefault(win_id, {}).setdefault(
+                    origin, deque()
+                )
+                while buf and len(out) < count:
+                    out.append(buf.popleft())
+                if len(out) >= count:
+                    return out
+                if abort.is_set():
+                    raise WorldAborted("world aborted while waiting in fence")
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    if deadline - time.monotonic() <= 0:
+                        obs.add("runtime.watchdog.expired")
+                        raise WatchdogTimeout(
+                            "watchdog: fence did not receive all puts "
+                            "before the deadline"
+                        )
+
+    def wake_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+
+class _RemoteMailbox:
+    """Deposit proxy routing to another rank's inbox queue."""
+
+    __slots__ = ("_inbox",)
+
+    def __init__(self, inbox) -> None:
+        self._inbox = inbox
+
+    def deposit(self, src, tag, payload, nbytes, msg_id=None) -> bool:
+        # The payload was frozen (copied) by the caller, so the pickle
+        # performed later by the queue's feeder thread cannot observe
+        # sender-side mutations.  Duplicate dedup happens at delivery.
+        self._inbox.put((_MSG, src, tag, payload, nbytes, msg_id))
+        return True
+
+
+class _MailboxRouter:
+    """``world.mailboxes`` stand-in: local real mailbox, remote proxies."""
+
+    def __init__(self, view: "_ProcessWorldView") -> None:
+        self._view = view
+        self._remotes = [
+            _RemoteMailbox(inbox) for inbox in view.endpoints.inboxes
+        ]
+
+    def __getitem__(self, dest: int):
+        if dest == self._view.rank:
+            return self._view.local_mailbox
+        return self._remotes[dest]
+
+
+class _ProcessWorldView:
+    """The ``World``-shaped object a forked rank hands to its RankComm.
+
+    Exposes exactly the attributes :class:`RankComm` touches —
+    ``nranks``, ``stats``, ``mailboxes``, ``collectives``, ``abort``,
+    ``faults``, ``watchdog`` — backed by the process transport, plus the
+    pump thread that moves inbound envelopes into the local mailbox and
+    window hub.
+    """
+
+    def __init__(
+        self, rank, nranks, endpoints, network, faults, watchdog
+    ) -> None:
+        self.rank = rank
+        self.nranks = nranks
+        self.endpoints = endpoints
+        self.stats = TrafficStats(nranks, network)
+        self.faults = faults
+        self.watchdog = watchdog
+        self.abort = threading.Event()
+        self.local_mailbox = _Mailbox()
+        self.hub = _WindowHub()
+        self.mailboxes = _MailboxRouter(self)
+        self.collectives = _ProcessCollectives(endpoints, rank)
+        self._win_counter = 0
+        self._pump = threading.Thread(
+            target=self._pump_loop,
+            name=f"simmpi-pump-{rank}",
+            daemon=True,
+        )
+        self._pump.start()
+
+    def alloc_win_id(self) -> int:
+        """Next window id; identical across ranks (collective creation)."""
+        win_id = self._win_counter
+        self._win_counter += 1
+        return win_id
+
+    def deliver_put(self, win_id, target, payload, nbytes, msg_id) -> None:
+        """Route one one-sided put (already frozen) toward its target."""
+        if target == self.rank:
+            self.hub.deliver(
+                win_id, self.rank, payload, nbytes, msg_id, self.faults
+            )
+        else:
+            self.endpoints.inboxes[target].put(
+                (_WIN, win_id, self.rank, payload, nbytes, msg_id)
+            )
+
+    def _pump_loop(self) -> None:
+        inbox = self.endpoints.inboxes[self.rank]
+        while True:
+            try:
+                item = inbox.get()
+            except (EOFError, OSError):  # pragma: no cover - teardown race
+                return
+            kind = item[0]
+            if kind == _QUIESCE:
+                return
+            if kind == _ABORT:
+                self.abort.set()
+                self.local_mailbox.wake_all()
+                self.hub.wake_all()
+                return
+            self._handle_envelope(item)
+
+    def _handle_envelope(self, item) -> None:
+        kind = item[0]
+        if kind == _MSG:
+            _kind, src, tag, payload, nbytes, msg_id = item
+            delivered = self.local_mailbox.deposit(
+                src, tag, payload, nbytes, msg_id
+            )
+            if not delivered and self.faults is not None:
+                self.faults.record_dropped_duplicate()
+        elif kind == _WIN:
+            _kind, win_id, origin, payload, nbytes, msg_id = item
+            self.hub.deliver(
+                win_id, origin, payload, nbytes, msg_id, self.faults
+            )
+
+    def quiesce(self) -> None:
+        """Stop the pump and fold already-arrived envelopes into the mailbox.
+
+        Called once ``main`` has returned, before the exit report is
+        built, so the reported pending count is exact: every inbound
+        envelope is either deposited here (and counted by the local
+        mailbox) or still in the queue for the parent's residual sweep —
+        never lost in the pump's hand-off window.
+        """
+        inbox = self.endpoints.inboxes[self.rank]
+        inbox.put((_QUIESCE,))
+        self._pump.join(timeout=10.0)
+        while True:
+            try:
+                item = inbox.get_nowait()
+            except _stdlib_queue.Empty:
+                return
+            if item[0] in (_MSG, _WIN):
+                self._handle_envelope(item)
+
+
+class _ProcessWindow:
+    """One-sided window over the process transport (Window-compatible)."""
+
+    def __init__(self, comm: "_ProcessRankComm", win_id: int) -> None:
+        self.comm = comm
+        self.win_id = win_id
+        #: Logical puts issued this epoch, by target rank.
+        self._epoch_counts = [0] * comm.size
+
+    def put(self, target: int, payload) -> None:
+        """Deposit ``payload`` in ``target``'s window; target not involved."""
+        if not 0 <= target < self.comm.size:
+            raise ValueError(f"target rank {target} out of range")
+        view = self.comm.world
+        inj = view.faults
+        action = inj.on_put(self.comm.rank, target) if inj is not None else None
+        nbytes = payload_nbytes(payload)
+        view.stats.record_send(self.comm.rank, target, nbytes)
+        frozen = _freeze(payload)
+        self._epoch_counts[target] += 1
+        if action is None:
+            view.deliver_put(self.win_id, target, frozen, nbytes, None)
+            return
+        if action.stall_s > 0:
+            time.sleep(action.stall_s)
+        msg_id = action.msg_id if action.duplicate else None
+        view.deliver_put(self.win_id, target, frozen, nbytes, msg_id)
+        if action.duplicate:
+            # Metered as real wire traffic; dropped by the target's
+            # message-id dedup before it reaches the window buffer.
+            view.stats.record_send(self.comm.rank, target, nbytes)
+            view.deliver_put(self.win_id, target, frozen, nbytes, msg_id)
+
+    def fence(self) -> list[tuple[int, object]]:
+        """Synchronize the epoch; return ``(origin, payload)`` puts received.
+
+        The opening synchronization doubles as the completion contract:
+        ranks exchange how many puts each issued per target, then every
+        rank blocks until exactly that many entries arrived from each
+        origin — queue-latency-proof, FIFO per origin.  Entries are
+        returned in origin-rank order (origins address disjoint site
+        sets in every exchange scheme, so ordering across origins is
+        immaterial; rank order makes it deterministic anyway).
+        """
+        comm = self.comm
+        view = comm.world
+        counts = comm.allgather(list(self._epoch_counts))
+        self._epoch_counts = [0] * comm.size
+        deadline = comm._deadline()
+        mine: list[tuple[int, object]] = []
+        for origin in range(comm.size):
+            expected = counts[origin][comm.rank]
+            if not expected:
+                continue
+            for payload, nbytes in view.hub.take(
+                self.win_id, origin, expected, view.abort, deadline
+            ):
+                view.stats.record_recv(comm.rank, nbytes)
+                mine.append((origin, payload))
+        comm.barrier()
+        return mine
+
+
+class _ProcessRankComm(RankComm):
+    """RankComm whose world is a :class:`_ProcessWorldView`.
+
+    Every two-sided, collective, and fault-point method is inherited
+    unchanged — the view's mailbox router, collectives, stats, and
+    injector plug into the exact thread-backend code paths.  Only
+    one-sided window creation differs: the thread backend shares an
+    in-memory ``WindowShared``, which cannot cross a process boundary.
+    """
+
+    def win_create(self):
+        """Collectively create a one-sided window over the transport."""
+        view = self.world
+        win_id = view.alloc_win_id()
+        ids = view.collectives.exchange(self.rank, win_id)
+        if any(i != win_id for i in ids):  # pragma: no cover - invariant
+            raise RuntimeError("window creation out of sync across ranks")
+        return _ProcessWindow(self, win_id)
+
+
+def _ensure_picklable(exc: BaseException) -> BaseException:
+    """The exception itself if it survives pickling, else a summary."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _child_entry(
+    main, rank, nranks, endpoints, conn, network, faults, watchdog, obs_trace
+) -> None:
+    """Entry point of one forked rank process."""
+    threading.current_thread().name = f"simmpi-rank-{rank}"
+    if faults is not None:
+        # Namespace this child's duplicate message ids: the per-process
+        # injector copies allocate ids independently.
+        faults.msg_id_tag = rank + 1
+    child_registry = None
+    if obs_trace is not None:
+        from repro.observe.registry import Registry
+
+        child_registry = obs.enable(Registry(trace=obs_trace))
+    view = _ProcessWorldView(rank, nranks, endpoints, network, faults, watchdog)
+    comm = _ProcessRankComm(view, rank)
+    status, result, error = "ok", None, None
+    try:
+        result = main(comm)
+    except WorldAborted:
+        status = "aborted"
+    except BaseException as exc:  # noqa: BLE001 - must cross processes
+        status, error = "err", _ensure_picklable(exc)
+    view.quiesce()
+    report = {
+        "rank": rank,
+        "status": status,
+        "result": result,
+        "error": error,
+        "stats": view.stats.export_state(),
+        "obs": (
+            child_registry.export_state() if child_registry is not None else None
+        ),
+        "faults": faults.export_state() if faults is not None else None,
+        "pending": view.local_mailbox.pending(),
+        "seen_ids": view.local_mailbox._seen_ids,
+    }
+    try:
+        conn.send(report)
+    except Exception as exc:  # result not picklable: still unblock the parent
+        report["status"] = "err"
+        report["result"] = None
+        report["error"] = RuntimeError(
+            f"rank {rank} produced an unpicklable result: {exc}"
+        )
+        conn.send(report)
+    finally:
+        conn.close()
+
+
+def run_process_world(
+    world, main, timeout: float = 300.0, grace: float = 5.0
+) -> list:
+    """Execute ``main(comm)`` with one forked process per rank.
+
+    Drop-in replacement for the thread path of
+    :meth:`~repro.runtime.simmpi.World.run`: same result list, same
+    error-precedence contract (KeyboardInterrupt first, then typed
+    InjectedFault/WatchdogTimeout, then ``RuntimeError('rank N
+    failed')``), same TimeoutError shape on a hung world — and the
+    world's stats/faults plus the active observe registry absorb every
+    child's measurements before control returns.
+    """
+    from repro.runtime.faults import InjectedFault
+
+    if not fork_available():
+        raise RuntimeError(
+            "the process backend requires the 'fork' start method "
+            "(unavailable on this platform); use backend='thread'"
+        )
+    if os.environ.get("REPRO_FORCE_THREAD_BACKEND"):
+        # Escape hatch for environments where forking is disallowed
+        # (sandboxes, some CI runners): behave like the thread backend.
+        return world.run(main, timeout=timeout, grace=grace, backend="thread")
+    nranks = world.nranks
+    ctx = multiprocessing.get_context("fork")
+    endpoints = _Endpoints(ctx, nranks)
+    registry = obs.active()
+    obs_trace = registry._trace if registry is not None else None
+    faults_base = (
+        world.faults.export_state() if world.faults is not None else None
+    )
+    procs, conns = [], []
+    for rank in range(nranks):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_entry,
+            args=(
+                main,
+                rank,
+                nranks,
+                endpoints,
+                child_conn,
+                world.stats.network,
+                world.faults,
+                world.watchdog,
+                obs_trace,
+            ),
+            name=f"simmpi-rank-{rank}",
+            daemon=True,
+        )
+        procs.append(proc)
+        conns.append(parent_conn)
+    with obs.phase("runtime.spawn_processes"):
+        for proc in procs:
+            proc.start()
+
+    reports: dict[int, dict] = {}
+    errors: list[tuple[int, BaseException]] = []
+    aborted = False
+
+    def note_error(rank: int, exc: BaseException) -> None:
+        nonlocal aborted
+        errors.append((rank, exc))
+        if not aborted:
+            aborted = True
+            world.abort.set()
+            _abort_all(endpoints)
+
+    def collect(deadline: float) -> None:
+        """Drain reports/exits until all ranks reported or time ran out."""
+        pending = set(range(nranks)) - set(reports)
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            waitables = [conns[r] for r in pending]
+            waitables += [procs[r].sentinel for r in pending]
+            _mpconn.wait(waitables, timeout=remaining)
+            for r in list(pending):
+                if conns[r].poll():
+                    try:
+                        rep = conns[r].recv()
+                    except (EOFError, OSError):
+                        rep = None
+                    if rep is not None:
+                        reports[r] = rep
+                        pending.discard(r)
+                        if rep["status"] == "err":
+                            note_error(r, rep["error"])
+                        continue
+                if not procs[r].is_alive() and not conns[r].poll():
+                    pending.discard(r)
+                    note_error(
+                        r,
+                        RuntimeError(
+                            f"rank {r} process exited with code "
+                            f"{procs[r].exitcode} without reporting"
+                        ),
+                    )
+
+    collect(time.monotonic() + timeout)
+    timed_out = len(reports) < nranks
+    if timed_out:
+        if not aborted:
+            aborted = True
+            world.abort.set()
+            _abort_all(endpoints)
+        collect(time.monotonic() + grace)
+    for proc in procs:
+        proc.join(timeout=0.1 if not timed_out else grace)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        conn.close()
+
+    # Merge every child's measurements into the parent-side registries.
+    pending_msgs = 0
+    for rank in range(nranks):
+        rep = reports.get(rank)
+        if rep is None:
+            continue
+        if rep.get("stats") is not None:
+            world.stats.absorb_state(rep["stats"])
+        if rep.get("faults") is not None and world.faults is not None:
+            world.faults.absorb_state(rep["faults"], base=faults_base)
+        if rep.get("obs") is not None and registry is not None:
+            registry.absorb_state(rep["obs"], label=f"rank{rank}/")
+        pending_msgs += rep.get("pending", 0)
+
+    # Residual sweep: an envelope can still sit in a rank's inbox queue
+    # when that rank quiesces (queue feeder threads flush asynchronously,
+    # so a send that "happened before" the receiver's exit may reach the
+    # pipe after it).  All children have exited by now, which flushes
+    # their feeders, so whatever remains here is the exact set of
+    # undelivered envelopes — count the messages, minus duplicates whose
+    # original a child already recorded as seen.
+    seen_ids: set = set()
+    for rep in reports.values():
+        seen_ids |= rep.get("seen_ids") or set()
+    for q in endpoints.inboxes:
+        while True:
+            try:
+                item = q.get_nowait()
+            except _stdlib_queue.Empty:
+                break
+            except (EOFError, OSError, pickle.UnpicklingError):
+                break  # a terminated child left a truncated write
+            if item[0] != _MSG:
+                continue
+            msg_id = item[5]
+            if msg_id is not None and msg_id in seen_ids:
+                # Fault-injected duplicate of an already-delivered
+                # message: dropped here exactly as the mailbox would.
+                if world.faults is not None:
+                    world.faults.record_dropped_duplicate()
+                continue
+            pending_msgs += 1
+    world._child_pending = pending_msgs
+
+    if timed_out:
+        missing = sorted(set(range(nranks)) - set(reports))
+        if missing:
+            detail = (
+                f"; {len(missing)} rank process(es) still alive after a "
+                f"{grace:g}s abort grace period (terminated): "
+                + ", ".join(f"simmpi-rank-{r}" for r in missing)
+            )
+        else:
+            detail = "; all ranks exited after the abort"
+        raise TimeoutError(
+            f"world of {nranks} ranks timed out after {timeout:g}s" + detail
+        )
+    if errors:
+        rank, exc = errors[0]
+        for _rank, e in errors:
+            if isinstance(e, KeyboardInterrupt):
+                raise e
+        if isinstance(exc, (InjectedFault, WatchdogTimeout)):
+            raise exc
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return [
+        reports[r]["result"] if r in reports else None for r in range(nranks)
+    ]

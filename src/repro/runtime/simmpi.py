@@ -23,6 +23,7 @@ All traffic is recorded in :class:`~repro.runtime.stats.TrafficStats`.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -374,8 +375,23 @@ class RankComm:
         return f"RankComm(rank={self.rank}, size={self.size})"
 
 
+BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalize a backend choice: explicit > ``REPRO_BACKEND`` > thread."""
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "thread"
+    backend = str(backend).strip().lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown simmpi backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
 class World:
-    """A fixed-size group of SPMD ranks executed on threads.
+    """A fixed-size group of SPMD ranks executed on threads or processes.
 
     Parameters
     ----------
@@ -396,6 +412,13 @@ class World:
         :class:`WatchdogTimeout` and the world aborts.  ``None`` (the
         default) disables the deadline entirely — blocked waits stay
         timer-free.
+    backend:
+        Execution backend: ``"thread"`` (ranks as threads, the
+        historical behavior) or ``"process"`` (one forked OS process per
+        rank via :mod:`repro.runtime.procbackend`, for real multi-core
+        parallelism).  ``None`` (the default) defers to the
+        ``REPRO_BACKEND`` environment variable, falling back to
+        ``"thread"``.
     """
 
     def __init__(
@@ -404,12 +427,14 @@ class World:
         network: NetworkModel | None = None,
         faults: FaultPlan | FaultInjector | None = None,
         watchdog: float | None = None,
+        backend: str | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         if watchdog is not None and watchdog <= 0:
             raise ValueError(f"watchdog must be positive, got {watchdog}")
         self.nranks = nranks
+        self.backend = resolve_backend(backend)
         self.stats = TrafficStats(nranks, network or NetworkModel())
         self.mailboxes = [_Mailbox() for _ in range(nranks)]
         self.collectives = _Collectives(nranks)
@@ -420,12 +445,14 @@ class World:
         self.watchdog = watchdog
         self._errors: list[tuple[int, BaseException]] = []
         self._error_lock = threading.Lock()
+        self._child_pending = 0
 
     def run(
         self,
         main: Callable[[RankComm], Any],
         timeout: float = 300.0,
         grace: float = 5.0,
+        backend: str | None = None,
     ) -> list:
         """Execute ``main(comm)`` on every rank; return per-rank results.
 
@@ -436,7 +463,15 @@ class World:
         is the user's request to stop, not a rank failure.  On timeout,
         ranks get ``grace`` seconds to exit after the abort; any that
         are still alive are named in the :class:`TimeoutError`.
+
+        ``backend`` overrides the world's configured backend for this
+        run; both accept ``"thread"`` and ``"process"``.
         """
+        resolved = resolve_backend(backend) if backend else self.backend
+        if resolved == "process":
+            from repro.runtime.procbackend import run_process_world
+
+            return run_process_world(self, main, timeout=timeout, grace=grace)
         results: list[Any] = [None] * self.nranks
         threads = []
 
@@ -502,4 +537,4 @@ class World:
 
     def pending_messages(self) -> int:
         """Messages deposited but never received (should be 0 after run)."""
-        return sum(mb.pending() for mb in self.mailboxes)
+        return sum(mb.pending() for mb in self.mailboxes) + self._child_pending

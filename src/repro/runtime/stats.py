@@ -62,8 +62,11 @@ def _payload_nbytes(obj, memo: dict[int, int] | None) -> int:
             return cached
     try:
         nbytes = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError):
         # Unpicklable control-plane objects are costed as an envelope.
+        # Only pickling failures are swallowed — anything else
+        # (KeyboardInterrupt, MemoryError, a bug in __reduce__) is a
+        # real error and must propagate.
         nbytes = 64
     if memo is not None:
         memo[id(obj)] = nbytes
@@ -204,3 +207,43 @@ class TrafficStats:
         """Zero all counters (e.g. after a warm-up phase)."""
         with self._lock:
             self.ranks = [RankCounters() for _ in range(self.nranks)]
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation (the simmpi process backend)
+    # ------------------------------------------------------------------
+    def export_state(self) -> list[tuple]:
+        """Per-rank counters as a picklable list of tuples."""
+        with self._lock:
+            return [
+                (
+                    c.sent_messages,
+                    c.sent_bytes,
+                    c.recv_messages,
+                    c.recv_bytes,
+                    c.collectives,
+                    c.comm_time,
+                )
+                for c in self.ranks
+            ]
+
+    def absorb_state(self, state: list[tuple]) -> None:
+        """Sum another process's :meth:`export_state` into this one.
+
+        Each traffic event is recorded in exactly one process (sends and
+        receives by the rank performing them, collectives by rank 0's
+        process for every rank), so summing the per-rank tuples across
+        all children reconstructs the world-wide accounting exactly.
+        """
+        if len(state) != self.nranks:
+            raise ValueError(
+                f"cannot absorb stats for {len(state)} ranks into a "
+                f"{self.nranks}-rank world"
+            )
+        with self._lock:
+            for c, row in zip(self.ranks, state):
+                c.sent_messages += row[0]
+                c.sent_bytes += row[1]
+                c.recv_messages += row[2]
+                c.recv_bytes += row[3]
+                c.collectives += row[4]
+                c.comm_time += row[5]

@@ -1,0 +1,372 @@
+"""The simmpi process backend: one forked OS process per rank.
+
+Everything the thread backend guarantees must hold unchanged: messaging
+semantics, collectives, one-sided windows, watchdog deadlines, abort and
+error propagation, fault injection, traffic accounting, observe
+aggregation — and, above all, bit-identical results for the parallel
+engines, since the backends are meant to be freely interchangeable.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import observe as obs
+from repro.kmc.akmc import ParallelAKMC
+from repro.observe.registry import Registry
+from repro.runtime.faults import FaultPlan, InjectedFault
+from repro.runtime.procbackend import fork_available
+from repro.runtime.simmpi import (
+    WatchdogTimeout,
+    World,
+    resolve_backend,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process backend needs the fork start method"
+)
+
+SCHEMES = ("traditional", "ondemand", "onesided")
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+class TestResolveBackend:
+    def test_defaults_to_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "thread"
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend(None) == "process"
+        assert World(2).backend == "process"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend("thread") == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simmpi backend"):
+            resolve_backend("mpi")
+        with pytest.raises(ValueError, match="unknown simmpi backend"):
+            World(2, backend="greenlet")
+
+    def test_run_override(self):
+        def main(comm):
+            return os.getpid()
+
+        world = World(2, backend="thread")
+        pids = world.run(main, timeout=60.0, backend="process")
+        assert all(pid != os.getpid() for pid in pids)
+
+
+# ----------------------------------------------------------------------
+# Transport semantics
+# ----------------------------------------------------------------------
+def _ring_main(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(right, 7, np.arange(5, dtype=np.int64) + comm.rank)
+    _src, _tag, payload = comm.recv(left, 7)
+    total = comm.allreduce(int(payload[0]), op="sum")
+    gathered = comm.allgather(comm.rank * 10)
+    win = comm.win_create()
+    win.put(right, ("ping", comm.rank))
+    puts = win.fence()
+    comm.barrier()
+    return (comm.rank, payload.tolist(), total, gathered, puts)
+
+
+class TestTransportParity:
+    def test_results_match_thread_backend(self):
+        results = {
+            backend: World(4, backend=backend).run(_ring_main, timeout=60.0)
+            for backend in ("thread", "process")
+        }
+        assert results["thread"] == results["process"]
+
+    def test_traffic_accounting_matches(self):
+        worlds = {}
+        for backend in ("thread", "process"):
+            world = World(4, backend=backend)
+            world.run(_ring_main, timeout=60.0)
+            worlds[backend] = world
+        t = worlds["thread"].stats.snapshot()
+        p = worlds["process"].stats.snapshot()
+        for key in ("total_sent_bytes", "total_messages", "total_collectives"):
+            assert t[key] == p[key]
+        assert worlds["process"].pending_messages() == 0
+
+    def test_ranks_run_in_distinct_processes(self):
+        pids = World(3, backend="process").run(
+            lambda comm: os.getpid(), timeout=60.0
+        )
+        assert len(set(pids)) == 3
+        assert os.getpid() not in pids
+
+    def test_send_isolated_from_later_mutation(self):
+        """A sent array snapshot is immune to sender-side writes."""
+
+        def main(comm):
+            if comm.rank == 0:
+                data = np.arange(4)
+                comm.send(1, 1, data)
+                data[:] = -1
+                comm.barrier()
+                return None
+            comm.barrier()  # only receive after the sender mutated
+            _s, _t, payload = comm.recv(0, 1)
+            return payload.tolist()
+
+        results = World(2, backend="process").run(main, timeout=60.0)
+        assert results[1] == [0, 1, 2, 3]
+
+    def test_pending_messages_counts_unconsumed(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, 3, b"orphan")
+            comm.barrier()
+            return None
+
+        world = World(2, backend="process")
+        world.run(main, timeout=60.0)
+        assert world.pending_messages() == 1
+
+
+# ----------------------------------------------------------------------
+# Failure semantics
+# ----------------------------------------------------------------------
+class TestFailureParity:
+    def test_error_aborts_world_and_reraises(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.recv(1, 5)  # would block forever without the abort
+
+        with pytest.raises(RuntimeError, match=r"rank 1 failed.*boom"):
+            World(2, backend="process").run(main, timeout=60.0)
+
+    def test_keyboard_interrupt_propagates_as_itself(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise KeyboardInterrupt
+            comm.barrier()
+
+        with pytest.raises(KeyboardInterrupt):
+            World(2, backend="process").run(main, timeout=60.0)
+
+    def test_watchdog_timeout_typed(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(1, 9)  # never sent
+            return None
+
+        world = World(2, watchdog=0.2, backend="process")
+        with pytest.raises(WatchdogTimeout):
+            world.run(main, timeout=60.0)
+
+    def test_injected_fault_typed_and_one_shot_across_reruns(self):
+        plan = FaultPlan.parse("crash:rank=1,cycle=2")
+
+        def main(comm):
+            for cycle in range(4):
+                comm.fault_point("kmc.cycle", cycle)
+                comm.barrier()
+            return comm.rank
+
+        world = World(2, faults=plan, backend="process")
+        with pytest.raises(InjectedFault, match=r"rank 1 at kmc.cycle\[2\]"):
+            world.run(main, timeout=60.0)
+        assert world.faults.counters.crashes == 1
+        # Recovery semantics: same injector, new world -> no second crash.
+        retry = World(2, faults=world.faults, backend="process")
+        assert retry.run(main, timeout=60.0) == [0, 1]
+        assert world.faults.counters.crashes == 1
+
+    def test_duplicate_send_deduplicated_and_counted(self):
+        plan = FaultPlan.parse("dup:rank=0,nth=1")
+
+        def main(comm):
+            other = 1 - comm.rank
+            comm.send(other, 2, comm.rank)
+            _s, _t, first = comm.recv(other, 2)
+            comm.barrier()
+            return first
+
+        world = World(2, faults=plan, backend="process")
+        assert world.run(main, timeout=60.0) == [1, 0]
+        assert world.faults.counters.duplicates == 1
+        assert world.faults.counters.dropped == 1
+        assert world.pending_messages() == 0
+
+
+# ----------------------------------------------------------------------
+# Observe aggregation
+# ----------------------------------------------------------------------
+class TestObserveAggregation:
+    def test_child_phases_and_counters_merge(self):
+        def main(comm):
+            with obs.phase("kmc.work"):
+                obs.add("test.events", comm.rank + 1)
+            comm.barrier()
+            return None
+
+        registry = obs.enable(Registry())
+        try:
+            World(3, backend="process").run(main, timeout=60.0)
+        finally:
+            obs.disable()
+        assert registry.counters["test.events"] == 6  # 1 + 2 + 3
+        work = [s for p, s in registry.phases.items() if p[-1] == "kmc.work"]
+        assert work and work[0].count == 3
+        names = set(registry.thread_names.values())
+        assert {"rank0/simmpi-rank-0", "rank1/simmpi-rank-1"} <= names
+
+    def test_trace_events_rebased_monotonic(self):
+        def main(comm):
+            with obs.phase("kmc.tick"):
+                pass
+            return None
+
+        registry = obs.enable(Registry(trace=True))
+        try:
+            World(2, backend="process").run(main, timeout=60.0)
+        finally:
+            obs.disable()
+        ticks = [e for e in registry.events if e.name == "kmc.tick"]
+        assert len(ticks) == 2
+        assert all(e.ts >= 0.0 for e in ticks)
+
+
+# ----------------------------------------------------------------------
+# Engine bit-identity across backends
+# ----------------------------------------------------------------------
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_parallel_akmc_schemes(
+        self, scheme, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        results = {}
+        for backend in ("thread", "process"):
+            engine = ParallelAKMC(
+                lattice8,
+                potential,
+                rate_params,
+                nranks=4,
+                scheme=scheme,
+                seed=5,
+                backend=backend,
+            )
+            results[backend] = engine.run(kmc_initial_occ.copy(), max_cycles=5)
+        t, p = results["thread"], results["process"]
+        np.testing.assert_array_equal(t.occupancy, p.occupancy)
+        assert t.time == p.time
+        assert t.events == p.events
+        assert t.cycles == p.cycles
+
+    def test_parallel_damage_md(self):
+        from repro.lattice.bcc import BCCLattice
+        from repro.md.engine import MDConfig
+        from repro.md.parallel_damage import ParallelDamageMD
+
+        results = {}
+        for backend in ("thread", "process"):
+            engine = ParallelDamageMD(
+                BCCLattice(6, 6, 6),
+                config=MDConfig(temperature=300.0, seed=3),
+                nranks=4,
+                backend=backend,
+            )
+            results[backend] = engine.run(
+                12, pka=(10, np.array([50.0, 30.0, 20.0]))
+            )
+        t, p = results["thread"], results["process"]
+        np.testing.assert_array_equal(t.positions, p.positions)
+        np.testing.assert_array_equal(t.velocities, p.velocities)
+        np.testing.assert_array_equal(t.vacancy_ranks, p.vacancy_ranks)
+        np.testing.assert_array_equal(t.runaway_ids, p.runaway_ids)
+
+    def test_checkpoint_resume_crosses_backends(
+        self, lattice8, potential, rate_params, kmc_initial_occ, tmp_path
+    ):
+        """A thread-backend checkpoint resumes bit-identically in processes."""
+        from repro.io.checkpoint import load_kmc_checkpoint
+
+        def engine(backend):
+            return ParallelAKMC(
+                lattice8,
+                potential,
+                rate_params,
+                nranks=4,
+                scheme="ondemand",
+                seed=5,
+                backend=backend,
+            )
+
+        ref = engine("thread").run(kmc_initial_occ.copy(), max_cycles=8)
+        ckpt = tmp_path / "cross-backend.npz"
+        engine("thread").run(
+            kmc_initial_occ.copy(),
+            max_cycles=5,
+            checkpoint_every=5,
+            checkpoint_path=ckpt,
+        )
+        snap = load_kmc_checkpoint(ckpt)
+        resumed = engine("process").run(
+            snap.occupancy, max_cycles=8, resume=snap
+        )
+        assert resumed.events == ref.events
+        assert resumed.time == ref.time
+        np.testing.assert_array_equal(resumed.occupancy, ref.occupancy)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCLIBackend:
+    def test_kmc_schemes_accepts_backend(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "kmc-schemes",
+                "--cells",
+                "8",
+                "--ranks",
+                "2",
+                "--cycles",
+                "2",
+                "--vacancies",
+                "8",
+                "--backend",
+                "process",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traditional" in out and "onesided" in out
+
+    def test_coupled_accepts_backend(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "coupled",
+                "--cells",
+                "8",
+                "--events",
+                "20",
+                "--md-steps",
+                "15",
+                "--kmc-ranks",
+                "2",
+                "--kmc-cycles",
+                "3",
+                "--backend",
+                "process",
+            ]
+        )
+        assert rc == 0
+        assert "after KMC" in capsys.readouterr().out

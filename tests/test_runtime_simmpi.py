@@ -259,6 +259,9 @@ class TestAbortRecoveryContract:
     def test_raise_mid_collective_delivers_worldaborted_to_all_peers(self):
         # Every surviving rank blocked in the collective must come back
         # with WorldAborted (not hang, not see a partial exchange).
+        # Observed through a shared list, so this needs the thread
+        # backend; the process backend's abort contract is covered by
+        # test_runtime_procbackend.TestFailureParity.
         import threading
 
         seen = []
@@ -275,7 +278,7 @@ class TestAbortRecoveryContract:
                 raise
 
         with pytest.raises(RuntimeError, match="rank 2 dies"):
-            World(4).run(main)
+            World(4, backend="thread").run(main)
         assert sorted(r for r, _ in seen) == [0, 1, 3]
         assert all(name == "WorldAborted" for _, name in seen)
 
@@ -295,8 +298,9 @@ class TestAbortRecoveryContract:
                     seen.append(comm.rank)
                 raise
 
+        # Thread backend: the shared `seen` list needs shared memory.
         with pytest.raises(RuntimeError, match="boom"):
-            World(3).run(main)
+            World(3, backend="thread").run(main)
         assert sorted(seen) == [1, 2]
 
     def test_keyboard_interrupt_propagates_unwrapped(self):
