@@ -26,4 +26,7 @@ __version__ = "1.0.0"
 
 from repro import constants
 
-__all__ = ["constants", "__version__"]
+__all__ = [
+    "__version__",
+    "constants",
+]

@@ -23,17 +23,17 @@ from repro.analysis.energies import (
 )
 
 __all__ = [
-    "track_single_vacancy",
-    "arrhenius_fit",
     "DiffusionResult",
-    "vacancy_formation_energy",
-    "divacancy_binding_energy",
+    "arrhenius_fit",
     "cluster_binding_per_vacancy",
-    "identify_vacancies",
-    "identify_interstitials",
-    "frenkel_pairs",
-    "vacancy_concentration",
     "cluster_size_distribution",
-    "radial_distribution",
     "displacement_histogram",
+    "divacancy_binding_energy",
+    "frenkel_pairs",
+    "identify_interstitials",
+    "identify_vacancies",
+    "radial_distribution",
+    "track_single_vacancy",
+    "vacancy_concentration",
+    "vacancy_formation_energy",
 ]

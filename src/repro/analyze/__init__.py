@@ -1,0 +1,32 @@
+"""Domain-specific static analysis for the repro codebase.
+
+The simulation's headline claims — bit-identical trajectories across
+communication schemes and execution backends — rest on invariants that
+runtime tests can only sample: all randomness flows through seeded
+Generators, simmpi send/recv protocols pair up, float bit-identity is
+asserted explicitly, and failures are never silently swallowed.  This
+package checks those invariants *statically*, before a single test runs.
+
+Usage::
+
+    python -m repro.analyze src              # scan, exit 1 on findings
+    python -m repro.analyze --explain REP001 # rule documentation
+    python -m repro.analyze src --format json
+
+Findings are suppressed either inline (``# repro: noqa(REP003)`` with a
+trailing justification) or via a committed baseline file
+(``analyze-baseline.json``) whose entries must carry a justification.
+"""
+
+from repro.analyze.core import Finding, ModuleContext, Rule, all_rules, register
+from repro.analyze.runner import AnalysisResult, analyze_paths
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "register",
+]

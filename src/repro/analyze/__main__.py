@@ -1,0 +1,7 @@
+"""``python -m repro.analyze`` dispatches to the analyzer CLI."""
+
+import sys
+
+from repro.analyze.cli import main
+
+sys.exit(main())

@@ -1,0 +1,86 @@
+"""Committed-baseline support.
+
+A baseline entry acknowledges one existing violation with a written
+justification, so the scan can gate on *new* findings while the
+acknowledged ones stay visible in review.  Entries match findings by
+(rule, path, source-line snippet) — line numbers drift, stripped source
+lines rarely do.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analyze.core import Finding
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (schema, or missing justification)."""
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """Parse and validate a baseline file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    entries = data.get("suppressions") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'suppressions' list"
+        )
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline entry {i} is not an object")
+        for field in ("rule", "path", "snippet", "justification"):
+            if not isinstance(entry.get(field), str) or not entry[field].strip():
+                raise BaselineError(
+                    f"baseline entry {i} needs a non-empty '{field}' "
+                    "(every suppression must be justified)"
+                )
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Split findings into (kept, baselined) and return stale entries.
+
+    An entry suppresses every finding sharing its (rule, path, snippet);
+    entries that match nothing are *stale* and reported so the baseline
+    shrinks as violations get fixed.
+    """
+    index = {(e["rule"], e["path"], e["snippet"]): e for e in entries}
+    kept: list[Finding] = []
+    baselined: list[Finding] = []
+    used: set[tuple] = set()
+    for finding in findings:
+        if finding.fingerprint in index:
+            used.add(finding.fingerprint)
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    stale = [e for key, e in index.items() if key not in used]
+    return kept, baselined, stale
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """A baseline document acknowledging ``findings`` (justify by hand)."""
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "snippet": f.snippet,
+            "justification": "TODO: justify this suppression",
+        }
+        for f in sorted(set(findings), key=Finding.sort_key)
+    ]
+    doc = {
+        "comment": (
+            "Acknowledged repro.analyze findings.  Every entry must carry a "
+            "real justification; stale entries are reported by the scan."
+        ),
+        "suppressions": entries,
+    }
+    return json.dumps(doc, indent=2) + "\n"

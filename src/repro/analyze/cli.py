@@ -1,0 +1,115 @@
+"""``python -m repro.analyze`` — scan paths, explain rules, manage baseline.
+
+Exit codes: 0 clean scan, 1 findings remain after suppressions, 2 usage
+or configuration error (bad baseline, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analyze import report
+from repro.analyze.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.analyze.runner import analyze_paths
+
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description=(
+            "Domain-specific static analysis: determinism, simmpi protocol "
+            "discipline, numeric safety."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to scan"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write current findings as a baseline (justify by hand), exit 0",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="REP0xx",
+        default=None,
+        help="print one rule's documentation and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.list_rules:
+        print(report.list_rules(), file=out)
+        return 0
+    if args.explain is not None:
+        text = report.explain(args.explain)
+        if text is None:
+            print(f"unknown rule {args.explain!r}; --list-rules", file=sys.stderr)
+            return 2
+        print(text, file=out)
+        return 0
+
+    result = analyze_paths(args.paths)
+
+    if args.write_baseline is not None:
+        Path(args.write_baseline).write_text(render_baseline(result.findings))
+        print(
+            f"wrote {len(result.findings)} suppression(s) to "
+            f"{args.write_baseline}; fill in the justifications",
+            file=out,
+        )
+        return 0
+
+    baselined, stale = [], []
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            entries = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result.findings, baselined, stale = apply_baseline(
+            result.findings, entries
+        )
+
+    if args.format == "json":
+        print(report.format_json(result, baselined, stale), file=out)
+    else:
+        print(report.format_text(result, baselined, stale), file=out)
+    return 1 if result.findings else 0

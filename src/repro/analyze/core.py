@@ -1,0 +1,182 @@
+"""Framework core: findings, rule registry, pragmas, import resolution.
+
+A :class:`Rule` sees one :class:`ModuleContext` at a time via
+``check_module`` and may keep cross-module state that it flushes in
+``finalize`` (used by the protocol rule to pair send/recv tags across
+the whole scanned set).  Rules are *instantiated per run*, so state
+never leaks between invocations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator
+
+#: ``# repro: noqa`` (blanket) or ``# repro: noqa(REP001,REP003)``; any
+#: trailing text is the justification and is encouraged.
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\(([A-Za-z0-9 ,]*)\))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    rule: str
+    path: str  # posix-style path relative to the scan root
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class ModuleContext:
+    """One parsed source file plus location/classification helpers."""
+
+    def __init__(self, rel_path: str, source: str, tree: ast.Module):
+        self.rel_path = rel_path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.parts = PurePosixPath(self.rel_path).parts
+
+    def in_dirs(self, *names: str) -> bool:
+        """Whether any path component matches one of ``names``."""
+        return any(part in names for part in self.parts)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule, self.rel_path, line, col, message, self.snippet(line))
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, register."""
+
+    code: str = "REP000"
+    name: str = "unnamed"
+    summary: str = ""
+    explanation: str = ""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        """Cross-module findings, called once after every module."""
+        return ()
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.code in _REGISTRY and _REGISTRY[cls.code] is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Registered rules by code; importing the plugins on first use."""
+    import repro.analyze.rules  # noqa: F401 - registration side effect
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def suppressed_codes(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> suppressed rule codes on that line.
+
+    An empty frozenset means a blanket ``# repro: noqa`` suppressing
+    every rule on the line.
+    """
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        m = NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group(1)
+        if codes is None:
+            out[lineno] = frozenset()
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            )
+    return out
+
+
+def is_suppressed(finding: Finding, pragmas: dict[int, frozenset[str]]) -> bool:
+    codes = pragmas.get(finding.line)
+    if codes is None:
+        return False
+    return not codes or finding.rule in codes
+
+
+class ImportMap:
+    """Resolve local call names to canonical dotted module paths.
+
+    Built from a module's import statements, so ``np.random.rand`` and
+    ``from numpy import random as r; r.rand`` both resolve to
+    ``numpy.random.rand``.  Unresolvable roots (locals, attributes of
+    arbitrary objects) resolve to ``None``.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    canon = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.names[local] = canon
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Canonical dotted path of a call target, or ``None``."""
+        attrs: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.names.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(attrs)])
+
+
+def iter_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

@@ -1,0 +1,82 @@
+"""Text and JSON reporters for scan results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analyze.core import Finding, all_rules
+from repro.analyze.runner import AnalysisResult
+
+
+def format_text(
+    result: AnalysisResult,
+    baselined: list[Finding],
+    stale_baseline: list[dict],
+) -> str:
+    lines: list[str] = []
+    for f in result.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}")
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    if stale_baseline:
+        lines.append("")
+        lines.append("stale baseline entries (fixed? remove them):")
+        for entry in stale_baseline:
+            lines.append(
+                f"  {entry['rule']} {entry['path']}: {entry['snippet'][:60]}"
+            )
+    lines.append("")
+    by_rule = Counter(f.rule for f in result.findings)
+    summary = ", ".join(f"{rule}={n}" for rule, n in sorted(by_rule.items()))
+    lines.append(
+        f"{result.files_scanned} files scanned: "
+        f"{len(result.findings)} finding(s)"
+        + (f" ({summary})" if summary else "")
+        + (f", {len(baselined)} baselined" if baselined else "")
+        + (
+            f", {len(result.suppressed)} noqa-suppressed"
+            if result.suppressed
+            else ""
+        )
+    )
+    return "\n".join(lines)
+
+
+def as_json(
+    result: AnalysisResult,
+    baselined: list[Finding],
+    stale_baseline: list[dict],
+) -> dict:
+    return {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "stale_baseline": stale_baseline,
+        "counts": dict(Counter(f.rule for f in result.findings)),
+    }
+
+
+def format_json(
+    result: AnalysisResult,
+    baselined: list[Finding],
+    stale_baseline: list[dict],
+) -> str:
+    return json.dumps(as_json(result, baselined, stale_baseline), indent=2)
+
+
+def explain(code: str) -> str | None:
+    """The long-form documentation of one rule, or ``None``."""
+    rules = all_rules()
+    cls = rules.get(code.upper())
+    if cls is None:
+        return None
+    header = f"{cls.code} ({cls.name}): {cls.summary}"
+    return f"{header}\n\n{cls.explanation}"
+
+
+def list_rules() -> str:
+    rows = [f"{cls.code}  {cls.name:<24} {cls.summary}" for cls in all_rules().values()]
+    return "\n".join(rows)

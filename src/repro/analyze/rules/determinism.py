@@ -1,0 +1,121 @@
+"""REP001 — hidden nondeterminism.
+
+Trajectory bit-identity across communication schemes and backends (the
+paper's §2.2/§4 equivalence claims) requires randomness to be a pure
+function of (seed, rank, cycle, sector).  Global-state RNG calls and
+wall-clock reads inside physics code both break that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analyze.core import (
+    Finding,
+    ImportMap,
+    ModuleContext,
+    Rule,
+    iter_calls,
+    register,
+)
+
+#: numpy.random attributes that are *allowed*: explicit seeded
+#: constructors.  Everything else on numpy.random is the legacy
+#: global-state API (np.random.seed / rand / choice / ...).
+_NUMPY_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: stdlib ``random`` attributes that are allowed (seedable instances).
+_STDLIB_ALLOWED = {"Random", "SystemRandom"}
+
+#: Wall-clock reads; forbidden in physics paths (timers belong in
+#: ``repro.observe``, which is allowlisted by virtue of not being a
+#: physics directory).
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Directories whose code computes physics and must be clock-free.
+_PHYSICS_DIRS = ("md", "kmc", "core")
+
+
+@register
+class NondeterminismRule(Rule):
+    code = "REP001"
+    name = "hidden-nondeterminism"
+    summary = (
+        "global-state RNG call, or wall-clock read inside md/, kmc/, core/ "
+        "physics code"
+    )
+    explanation = """\
+Bit-identical parallel AKMC (the equivalence the scheme and backend
+tests assert) requires every random draw to be reproducible from
+(seed, rank, cycle, sector).  Two statically detectable hazards break
+this:
+
+1. Global-state RNG: ``np.random.seed()``, ``np.random.rand()``,
+   ``random.random()`` and friends share hidden mutable state, so the
+   draw depends on call *order* — which differs across schemes, rank
+   counts and backends.  Use seeded ``numpy.random.Generator`` streams
+   (see ``repro.kmc.rng``: ``sector_rng(seed, rank, cycle, sector)``)
+   or a seeded ``random.Random(seed)`` instance.  Flagged everywhere.
+
+2. Wall-clock reads in physics code: ``time.time()``,
+   ``time.perf_counter()``, ``datetime.now()`` inside ``md/``, ``kmc/``
+   or ``core/`` feed real time into trajectories.  Timing belongs in
+   ``repro.observe`` phases; ``runtime/`` and ``observe/`` are outside
+   the physics dirs and therefore allowlisted.
+
+Suppress with ``# repro: noqa(REP001) <why this draw is reproducible>``.
+"""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        in_physics = module.in_dirs(*_PHYSICS_DIRS)
+        for call in iter_calls(module.tree):
+            target = imports.resolve_call(call.func)
+            if target is None:
+                continue
+            if target.startswith("numpy.random."):
+                leaf = target.split(".")[2]
+                if leaf not in _NUMPY_ALLOWED:
+                    yield module.finding(
+                        self.code,
+                        call,
+                        f"global-state RNG call numpy.random.{leaf}; use a "
+                        "seeded Generator (repro.kmc.rng.sector_rng)",
+                    )
+            elif target.startswith("random."):
+                leaf = target.split(".")[1]
+                if leaf not in _STDLIB_ALLOWED:
+                    yield module.finding(
+                        self.code,
+                        call,
+                        f"global-state RNG call random.{leaf}; use a seeded "
+                        "random.Random or numpy Generator",
+                    )
+            elif in_physics and target in _WALL_CLOCK:
+                yield module.finding(
+                    self.code,
+                    call,
+                    f"wall-clock read {target}() in physics code; time "
+                    "physics via repro.observe phases instead",
+                )

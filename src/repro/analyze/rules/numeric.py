@@ -1,0 +1,66 @@
+"""REP003 — float equality comparisons in physics code.
+
+The repo's equivalence tests assert *bit identity* via explicit helpers
+(``np.array_equal``, ULP diffs); an inline ``x == 1.5`` in physics code
+is either a tolerance check in disguise or an unstated bit-identity
+claim.  Both deserve an explicit spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analyze.core import Finding, ModuleContext, Rule, register
+
+_PHYSICS_DIRS = ("md", "kmc", "core", "potential", "lattice")
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # -1.5 parses as UnaryOp(USub, Constant(1.5))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "REP003"
+    name = "float-equality"
+    summary = "== / != against a float literal in physics code"
+    explanation = """\
+Floating-point ``==``/``!=`` against a literal inside ``md/``, ``kmc/``,
+``core/``, ``potential/`` or ``lattice/`` hides intent: a bit-identity
+claim should say ``np.array_equal(a, b)`` (or compare ULPs); a tolerance
+check should say ``np.isclose``/``math.isclose``; an exact sentinel
+(e.g. a rate slot that is *stored* as exactly 0.0 and only ever assigned
+exact values) should be annotated so the reader knows rounding cannot
+reach it.
+
+Suppress deliberate exact-value sentinels with
+``# repro: noqa(REP003) <why rounding can never produce this value>``.
+"""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_dirs(*_PHYSICS_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:], strict=True
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield module.finding(
+                        self.code,
+                        node,
+                        f"float literal compared with {sym} in physics code; "
+                        "use np.isclose / np.array_equal (or annotate the "
+                        "exact sentinel)",
+                    )

@@ -1,0 +1,47 @@
+"""REP006 — observe phase misuse.
+
+``obs.phase("name")`` returns a context manager; calling it as a bare
+statement times nothing and silently records nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analyze.core import Finding, ModuleContext, Rule, register
+
+
+@register
+class BarePhaseRule(Rule):
+    code = "REP006"
+    name = "bare-phase-call"
+    summary = "phase(...) called as a statement instead of `with phase(...)`"
+    explanation = """\
+``repro.observe.phase(name)`` only *returns* a timing context manager —
+the timer starts at ``__enter__`` and records at ``__exit__``.  A bare
+``obs.phase("md.force")`` statement discards the manager: the phase
+never appears in reports or traces, and the instrumentation looks
+present while measuring nothing.  Write ``with obs.phase("md.force"):``
+around the timed region.
+"""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+                continue
+            func = node.value.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if name == "phase":
+                yield module.finding(
+                    self.code,
+                    node,
+                    "bare phase(...) call discards the context manager and "
+                    "times nothing; use `with ... phase(...):`",
+                )

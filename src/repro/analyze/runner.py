@@ -1,0 +1,111 @@
+"""Scan driver: collect files, run rules, apply pragmas and baseline."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    is_suppressed,
+    suppressed_codes,
+)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "node_modules"}
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one scan produced, before baseline application."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)  # via pragmas
+    files_scanned: int = 0
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, stably ordered."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            out.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.append(sub)
+    seen: set[Path] = set()
+    unique = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    rules: list[Rule] | None = None,
+    root: str | Path | None = None,
+) -> AnalysisResult:
+    """Run every rule over every python file under ``paths``.
+
+    ``root`` anchors the relative paths used in findings (and therefore
+    in baseline entries); it defaults to the current directory so a scan
+    from the repo root produces ``src/repro/...`` paths.
+    """
+    if rules is None:
+        rules = [cls() for cls in all_rules().values()]
+    root = Path(root) if root is not None else Path.cwd()
+    result = AnalysisResult()
+    raw: list[tuple[Finding, dict[int, frozenset[str]]]] = []
+    pragma_by_path: dict[str, dict[int, frozenset[str]]] = {}
+
+    for path in iter_python_files(paths):
+        rel = _rel(path, root)
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            raw.append(
+                (Finding("REP000", rel, 1, 0, f"cannot parse: {exc}", ""), {})
+            )
+            continue
+        result.files_scanned += 1
+        module = ModuleContext(rel, source, tree)
+        pragmas = suppressed_codes(source)
+        pragma_by_path[rel] = pragmas
+        for rule in rules:
+            for finding in rule.check_module(module):
+                raw.append((finding, pragmas))
+
+    # Cross-module findings (e.g. tag pairing) surface here; look their
+    # pragmas up by path so an inline noqa still applies.
+    for rule in rules:
+        for finding in rule.finalize():
+            raw.append((finding, pragma_by_path.get(finding.path, {})))
+
+    seen: set[tuple] = set()
+    for finding, pragmas in raw:
+        key = (*finding.fingerprint, finding.line, finding.col, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        if is_suppressed(finding, pragmas):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=Finding.sort_key)
+    return result

@@ -19,14 +19,14 @@ from repro.core.clusters import (
 from repro.core.coupling import CoupledConfig, CoupledSimulation, CoupledResult
 
 __all__ = [
-    "real_vacancy_concentration",
-    "kmc_real_time",
-    "paper_timescale_days",
-    "vacancy_clusters",
+    "CoupledConfig",
+    "CoupledResult",
+    "CoupledSimulation",
     "cluster_sizes",
     "clustering_report",
+    "kmc_real_time",
     "mean_nn_distance",
-    "CoupledConfig",
-    "CoupledSimulation",
-    "CoupledResult",
+    "paper_timescale_days",
+    "real_vacancy_concentration",
+    "vacancy_clusters",
 ]

@@ -45,7 +45,7 @@ def vacancy_clusters(
     delta = box.minimum_image(pos[None, :, :] - pos[:, None, :])
     dist = np.linalg.norm(delta, axis=-1)
     ii, jj = np.nonzero(np.triu(dist <= bond_distance, k=1))
-    for a, b in zip(ii, jj):
+    for a, b in zip(ii, jj, strict=True):
         graph.add_edge(int(vacancy_ranks[a]), int(vacancy_ranks[b]))
     comps = [set(c) for c in nx.connected_components(graph)]
     return sorted(comps, key=len, reverse=True)

@@ -9,7 +9,7 @@ The benchmarks under ``benchmarks/`` call these same functions and assert
 the shape criteria of DESIGN.md §4.
 """
 
-from repro.experiments import (  # noqa: F401
+from repro.experiments import (
     fig09_md_optimizations,
     fig10_md_strong_scaling,
     fig11_md_weak_scaling,

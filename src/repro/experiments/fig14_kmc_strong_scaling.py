@@ -118,7 +118,7 @@ def main() -> None:  # pragma: no cover - CLI entry
     for r in result["rows"]:
         print(
             f"{r['cores']:>8,} {r['speedup']:>8.1f} {r['ideal_speedup']:>6.0f} "
-            f"{r['efficiency']:>7.1%} {str(r['l2_resident']):>6}"
+            f"{r['efficiency']:>7.1%} {r['l2_resident']!s:>6}"
         )
     s = result["summary"]
     print(

@@ -6,13 +6,13 @@ from repro.io.checkpoint import save_checkpoint, load_checkpoint, CheckpointErro
 from repro.io.kmc_trajectory import KMCTrajectory
 
 __all__ = [
-    "KMCTrajectory",
-    "write_xyz",
-    "read_xyz",
-    "write_vacancy_xyz",
-    "dump_state",
-    "load_state",
-    "save_checkpoint",
-    "load_checkpoint",
     "CheckpointError",
+    "KMCTrajectory",
+    "dump_state",
+    "load_checkpoint",
+    "load_state",
+    "read_xyz",
+    "save_checkpoint",
+    "write_vacancy_xyz",
+    "write_xyz",
 ]

@@ -73,7 +73,7 @@ class KMCTrajectory:
                 raise ValueError(f"{path} is not a {FORMAT} file")
             nx, ny, nz = (int(v) for v in data["dims"])
             traj = cls(BCCLattice(nx, ny, nz, a=float(data["a"])))
-            for t, frame in zip(data["times"], data["frames"]):
+            for t, frame in zip(data["times"], data["frames"], strict=True):
                 traj.record(float(t), frame)
         return traj
 

@@ -40,7 +40,7 @@ def write_xyz(
         lattice = ""
     comment = comment.replace("\n", " ")
     lines = [str(n), f"{lattice}{comment}".strip()]
-    for sym, (x, y, z) in zip(symbols, positions):
+    for sym, (x, y, z) in zip(symbols, positions, strict=True):
         lines.append(f"{sym} {x:.8f} {y:.8f} {z:.8f}")
     mode = "a" if append else "w"
     with open(path, mode) as fh:

@@ -46,23 +46,23 @@ from repro.kmc.alloy import (
 
 __all__ = [
     "AlloyKMCModel",
-    "AlloySerialAKMC",
     "AlloyRateParameters",
-    "make_parallel_alloy_akmc",
-    "S_VACANCY",
-    "S_FE",
-    "S_CU",
-    "sector_rng",
-    "cycle_seed",
+    "AlloySerialAKMC",
     "EventCatalog",
-    "KMCModel",
-    "RateParameters",
-    "SectorSchedule",
     "ExchangeScheme",
-    "TraditionalExchange",
+    "KMCModel",
+    "KMCResult",
     "OnDemandExchange",
     "OneSidedExchange",
-    "SerialAKMC",
     "ParallelAKMC",
-    "KMCResult",
+    "RateParameters",
+    "S_CU",
+    "S_FE",
+    "S_VACANCY",
+    "SectorSchedule",
+    "SerialAKMC",
+    "TraditionalExchange",
+    "cycle_seed",
+    "make_parallel_alloy_akmc",
+    "sector_rng",
 ]

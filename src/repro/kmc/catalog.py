@@ -158,7 +158,9 @@ class EventCatalog:
         self.rates[row] = None
         self._cums[row] = None
         self.n_active -= 1
-        if self.tree[self.size + row] != 0.0:
+        if self.tree[self.size + row] != 0.0:  # repro: noqa(REP003) exact 0
+            # A leaf is 0.0 only by assignment (cleared row), never by
+            # rounding, so exact comparison is the correct idle check.
             self._set_leaf(row, 0.0)
 
     def set_rows(
@@ -182,7 +184,7 @@ class EventCatalog:
         per_t = np.split(np.asarray(targets_flat, dtype=np.int64), splits)
         per_r = np.split(np.asarray(rates_flat), splits)
         if len(rows) < _BULK_THRESHOLD:
-            for row, t, r in zip(rows, per_t, per_r):
+            for row, t, r in zip(rows, per_t, per_r, strict=True):
                 self.set_row(int(row), t, r)
             return
         leaves = np.fromiter(
@@ -190,7 +192,7 @@ class EventCatalog:
             dtype=float,
             count=len(rows),
         )
-        for row, t, r in zip(rows, per_t, per_r):
+        for row, t, r in zip(rows, per_t, per_r, strict=True):
             row = int(row)
             if self.targets[row] is None:
                 self.n_active += 1

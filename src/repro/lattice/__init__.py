@@ -12,8 +12,8 @@ from repro.lattice.domain import DomainDecomposition, Subdomain
 
 __all__ = [
     "BCCLattice",
-    "NeighborOffsets",
     "Box",
     "DomainDecomposition",
+    "NeighborOffsets",
     "Subdomain",
 ]

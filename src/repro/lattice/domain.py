@@ -106,7 +106,7 @@ class Subdomain:
     @property
     def shape(self) -> tuple[int, int, int]:
         """Subdomain extent in cells along each axis."""
-        return tuple(h - l for l, h in zip(self.cell_lo, self.cell_hi))
+        return tuple(h - l for l, h in zip(self.cell_lo, self.cell_hi, strict=True))
 
     @property
     def ncells(self) -> int:
@@ -120,7 +120,7 @@ class Subdomain:
     def contains_cell(self, i: int, j: int, k: int) -> bool:
         """Whether global cell (i, j, k) is owned by this subdomain."""
         return all(
-            l <= c < h for c, l, h in zip((i, j, k), self.cell_lo, self.cell_hi)
+            l <= c < h for c, l, h in zip((i, j, k), self.cell_lo, self.cell_hi, strict=True)
         )
 
     def _axis_range(self, axis: int, d: int, width: int, kind: str) -> range:

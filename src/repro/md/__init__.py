@@ -35,22 +35,22 @@ from repro.md.parallel_damage import ParallelDamageMD, ParallelDamageResult
 
 __all__ = [
     "AtomState",
-    "VACANCY_ID",
-    "LatticeNeighborList",
-    "VerletNeighborList",
-    "LinkedCellList",
-    "compute_energy_forces",
-    "PairTable",
-    "VelocityVerlet",
-    "maxwell_boltzmann_velocities",
-    "berendsen_rescale",
-    "instantaneous_temperature",
     "CascadeConfig",
-    "run_cascade",
-    "insert_pka",
-    "MDEngine",
+    "LatticeNeighborList",
+    "LinkedCellList",
     "MDConfig",
-    "ParallelMD",
+    "MDEngine",
+    "PairTable",
     "ParallelDamageMD",
     "ParallelDamageResult",
+    "ParallelMD",
+    "VACANCY_ID",
+    "VelocityVerlet",
+    "VerletNeighborList",
+    "berendsen_rescale",
+    "compute_energy_forces",
+    "insert_pka",
+    "instantaneous_temperature",
+    "maxwell_boltzmann_velocities",
+    "run_cascade",
 ]

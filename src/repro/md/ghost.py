@@ -103,7 +103,7 @@ class GhostExchanger:
             _src, _tag, payload = comm.recv(
                 source=plan.neighbor, tag=tag_base + _OPPOSITE[plan.dir_index]
             )
-            for a, data in zip(arrays, payload):
+            for a, data in zip(arrays, payload, strict=True):
                 a[plan.recv_rows] = data
 
     @property

@@ -35,12 +35,12 @@ from repro.md.neighbors.memory import (
 
 __all__ = [
     "LatticeNeighborList",
-    "RunawayAtom",
-    "VerletNeighborList",
     "LinkedCellList",
     "MemoryFootprint",
+    "RunawayAtom",
+    "VerletNeighborList",
     "lattice_list_footprint",
-    "verlet_list_footprint",
     "linked_cell_footprint",
     "max_atoms_in_memory",
+    "verlet_list_footprint",
 ]

@@ -114,7 +114,7 @@ def _cell_pairs(box: Box, x: np.ndarray, reach: float):
     starts = np.concatenate([[0], boundaries])
     cells = sorted_flat[starts]
     cell_to_run = {int(c): (int(s), int(e)) for c, s, e in zip(
-        cells, starts, np.concatenate([boundaries, [n]])
+        cells, starts, np.concatenate([boundaries, [n]]), strict=True
     )}
     shifts = [
         (dx, dy, dz)

@@ -312,7 +312,7 @@ class ParallelDamageMD:
                     run_partners.append((rows, d, r))
                 # run-away / run-away density contributions
                 rr_pairs = _runaway_runaway_pairs(all_runs, box, pot.cutoff)
-                for a, b, d, r in rr_pairs:
+                for a, b, _d, r in rr_pairs:
                     fd = float(pot.fdens(r))
                     a.rho += fd
                     b.rho += fd
@@ -332,7 +332,7 @@ class ParallelDamageMD:
                     box,
                 )
                 demb_sites = pot.dembed(state.rho)
-                for atom, (rows, d, r) in zip(all_runs, run_partners):
+                for atom, (rows, d, r) in zip(all_runs, run_partners, strict=True):
                     demb_a = float(pot.dembed(atom.rho))
                     coeff = (
                         pot.dphi(r) + (demb_a + demb_sites[rows]) * pot.dfdens(r)

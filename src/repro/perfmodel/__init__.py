@@ -22,12 +22,12 @@ from repro.perfmodel.kmc_model import KMCScalingModel
 from repro.perfmodel.coupled_model import CoupledScalingModel
 
 __all__ = [
+    "CalibratedCosts",
+    "CoupledScalingModel",
+    "KMCScalingModel",
+    "MDScalingModel",
+    "MachineSpec",
     "ScalingNetwork",
     "TAIHULIGHT",
-    "MachineSpec",
-    "CalibratedCosts",
     "calibrate_from_kernels",
-    "MDScalingModel",
-    "KMCScalingModel",
-    "CoupledScalingModel",
 ]

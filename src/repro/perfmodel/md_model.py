@@ -150,7 +150,9 @@ def strong_efficiency(rows: list[dict]) -> float:
 
 
 def check_math() -> None:  # pragma: no cover - manual sanity helper
-    """Quick self-check of the surface formula."""
+    """Quick self-check of the surface formula (survives ``python -O``)."""
     s = boundary_sites(2.13e7)
-    assert 1e6 < s < 2e6, s
-    assert math.isclose(boundary_sites(2.0), 2.0, rel_tol=1e-9)
+    if not 1e6 < s < 2e6:
+        raise ValueError(f"boundary_sites(2.13e7) outside [1e6, 2e6]: {s}")
+    if not math.isclose(boundary_sites(2.0), 2.0, rel_tol=1e-9):
+        raise ValueError("boundary_sites must be the identity for tiny boxes")

@@ -22,12 +22,12 @@ from repro.potential.fe import make_fe_potential, FeParameters
 from repro.potential.alloy import AlloyTables, plan_local_store_residency
 
 __all__ = [
-    "SplineTable",
+    "AlloyTables",
     "CompactTable",
     "EAMPotential",
+    "FeParameters",
+    "SplineTable",
     "TableSet",
     "make_fe_potential",
-    "FeParameters",
-    "AlloyTables",
     "plan_local_store_residency",
 ]

@@ -38,18 +38,18 @@ from repro.runtime.netmodel import NetworkModel
 from repro.runtime.topology import CartesianTopology
 
 __all__ = [
-    "World",
-    "WorldAborted",
-    "WatchdogTimeout",
-    "RankComm",
     "ANY_SOURCE",
     "ANY_TAG",
-    "Status",
-    "Window",
-    "TrafficStats",
-    "NetworkModel",
     "CartesianTopology",
-    "FaultPlan",
     "FaultInjector",
+    "FaultPlan",
     "InjectedFault",
+    "NetworkModel",
+    "RankComm",
+    "Status",
+    "TrafficStats",
+    "WatchdogTimeout",
+    "Window",
+    "World",
+    "WorldAborted",
 ]

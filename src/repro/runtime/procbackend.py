@@ -464,6 +464,9 @@ def _ensure_picklable(exc: BaseException) -> BaseException:
         pickle.loads(pickle.dumps(exc))
         return exc
     except Exception:
+        # A custom __reduce__ can raise anything, so the catch must stay
+        # broad — but the downgrade is counted, never silent.
+        obs.add("runtime.procbackend.unpicklable_errors")
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
@@ -488,7 +491,7 @@ def _child_entry(
         result = main(comm)
     except WorldAborted:
         status = "aborted"
-    except BaseException as exc:  # noqa: BLE001 - must cross processes
+    except BaseException as exc:  # must cross processes (see baseline)
         status, error = "err", _ensure_picklable(exc)
     view.quiesce()
     report = {
@@ -506,7 +509,10 @@ def _child_entry(
     }
     try:
         conn.send(report)
-    except Exception as exc:  # result not picklable: still unblock the parent
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        # The result failed to pickle: count it, then resend a stub
+        # report so the parent is never left blocking on the pipe.
+        obs.add("runtime.procbackend.unpicklable_results")
         report["status"] = "err"
         report["result"] = None
         report["error"] = RuntimeError(

@@ -481,7 +481,7 @@ class World:
                 results[rank] = main(comm)
             except WorldAborted:
                 pass
-            except BaseException as exc:  # noqa: BLE001 - must cross threads
+            except BaseException as exc:  # must cross threads (see baseline)
                 with self._error_lock:
                     self._errors.append((rank, exc))
                 self.abort_world()

@@ -240,7 +240,7 @@ class TrafficStats:
                 f"{self.nranks}-rank world"
             )
         with self._lock:
-            for c, row in zip(self.ranks, state):
+            for c, row in zip(self.ranks, state, strict=True):
                 c.sent_messages += row[0]
                 c.sent_bytes += row[1]
                 c.recv_messages += row[2]

@@ -41,21 +41,21 @@ from repro.sunway.register import (
 )
 
 __all__ = [
-    "SunwayArch",
+    "AthreadPool",
+    "BlockedEAMKernel",
     "CoreGroup",
-    "LocalStore",
-    "LocalStoreOverflow",
     "DMAEngine",
     "DMAStats",
-    "AthreadPool",
-    "SlabPartition",
-    "KernelStrategy",
-    "BlockedEAMKernel",
-    "KernelReport",
-    "STRATEGY_LADDER",
-    "RegisterMesh",
     "DistributedTable",
-    "TwoSidedRegisterProtocol",
+    "KernelReport",
+    "KernelStrategy",
+    "LocalStore",
+    "LocalStoreOverflow",
     "OneSidedRegisterProtocol",
+    "RegisterMesh",
+    "STRATEGY_LADDER",
+    "SlabPartition",
+    "SunwayArch",
+    "TwoSidedRegisterProtocol",
     "lookup_strategy_comparison",
 ]

@@ -310,7 +310,7 @@ class BlockedEAMKernel:
                     measured = len(set(ghost.tolist()) - window)
                     modeled = int(len(ghost) * (1.0 - arch.reuse_efficiency))
                     new_ghost = min(measured, modeled)
-                recent_loads = (recent_loads + [loaded])[-2:]
+                recent_loads = [*recent_loads, loaded][-2:]
                 trad = strat.table_layout == "traditional"
                 # --- pass 1: density (rho per central) -------------------
                 rho[rows] = star_density(

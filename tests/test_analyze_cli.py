@@ -1,0 +1,211 @@
+"""CLI contract tests: exit codes, JSON schema, noqa and baseline paths."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analyze.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.analyze.cli import main
+from repro.analyze.core import Finding
+from repro.analyze.runner import analyze_paths
+
+BAD_KMC = textwrap.dedent(
+    """\
+    import numpy as np
+
+    def hop():
+        return np.random.rand()
+    """
+)
+
+CLEAN = "def f(x):\n    return x + 1\n"
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A scan root with one dirty physics module and one clean module."""
+    pkg = tmp_path / "src" / "repro" / "kmc"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_KMC)
+    (pkg / "ok.py").write_text(CLEAN)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_scan_exits_zero(self, tree, capsys):
+        (tree / "src/repro/kmc/bad.py").write_text(CLEAN)
+        assert main(["src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tree, capsys):
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "bad.py" in out
+
+    def test_unknown_rule_exits_two(self, tree, capsys):
+        assert main(["--explain", "REP999"]) == 2
+
+    def test_bad_baseline_exits_two(self, tree, capsys):
+        (tree / "b.json").write_text("{not json")
+        assert main(["src", "--baseline", "b.json"]) == 2
+
+    def test_unjustified_baseline_exits_two(self, tree):
+        (tree / "b.json").write_text(
+            json.dumps(
+                {
+                    "suppressions": [
+                        {
+                            "rule": "REP001",
+                            "path": "src/repro/kmc/bad.py",
+                            "snippet": "return np.random.rand()",
+                            "justification": "   ",
+                        }
+                    ]
+                }
+            )
+        )
+        assert main(["src", "--baseline", "b.json"]) == 2
+
+    def test_syntax_error_is_a_finding(self, tree, capsys):
+        (tree / "src/repro/kmc/broken.py").write_text("def f(:\n")
+        assert main(["src"]) == 1
+        assert "REP000" in capsys.readouterr().out
+
+
+class TestReporters:
+    def test_json_schema(self, tree, capsys):
+        assert main(["src", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["files_scanned"] == 2
+        assert doc["counts"] == {"REP001": 1}
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["path"] == "src/repro/kmc/bad.py"
+        assert finding["line"] == 4
+        assert finding["snippet"] == "return np.random.rand()"
+
+    def test_explain_and_list_rules(self, tree, capsys):
+        assert main(["--explain", "rep001"]) == 0
+        assert "sector_rng" in capsys.readouterr().out
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+
+class TestSuppression:
+    def test_inline_noqa(self, tree, capsys):
+        (tree / "src/repro/kmc/bad.py").write_text(
+            BAD_KMC.replace(
+                "return np.random.rand()",
+                "return np.random.rand()  # repro: noqa(REP001) fixture",
+            )
+        )
+        assert main(["src"]) == 0
+        assert "1 noqa-suppressed" in capsys.readouterr().out
+
+    def test_blanket_noqa_and_other_code(self, tree):
+        # noqa for a *different* rule does not suppress
+        (tree / "src/repro/kmc/bad.py").write_text(
+            BAD_KMC.replace(
+                "return np.random.rand()",
+                "return np.random.rand()  # repro: noqa(REP003) wrong code",
+            )
+        )
+        assert main(["src"]) == 1
+        (tree / "src/repro/kmc/bad.py").write_text(
+            BAD_KMC.replace(
+                "return np.random.rand()",
+                "return np.random.rand()  # repro: noqa",
+            )
+        )
+        assert main(["src"]) == 0
+
+    def test_baseline_roundtrip(self, tree, capsys):
+        # --write-baseline exits 0 and records the finding
+        assert main(["src", "--write-baseline", "base.json"]) == 0
+        doc = json.loads((tree / "base.json").read_text())
+        assert len(doc["suppressions"]) == 1
+        # ... but the TODO justification is rejected until filled in
+        doc["suppressions"][0]["justification"] = "seeded fixture, known dirty"
+        (tree / "base.json").write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(["src", "--baseline", "base.json"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # --no-baseline brings the finding back
+        assert main(["src", "--baseline", "base.json", "--no-baseline"]) == 1
+
+    def test_default_baseline_discovered_in_cwd(self, tree, capsys):
+        assert main(["src", "--write-baseline", "analyze-baseline.json"]) == 0
+        doc = json.loads((tree / "analyze-baseline.json").read_text())
+        doc["suppressions"][0]["justification"] = "fixture"
+        (tree / "analyze-baseline.json").write_text(json.dumps(doc))
+        assert main(["src"]) == 0
+
+    def test_stale_baseline_entries_reported(self, tree, capsys):
+        (tree / "base.json").write_text(
+            json.dumps(
+                {
+                    "suppressions": [
+                        {
+                            "rule": "REP004",
+                            "path": "src/repro/kmc/gone.py",
+                            "snippet": "assert x",
+                            "justification": "was fixed long ago",
+                        }
+                    ]
+                }
+            )
+        )
+        assert main(["src", "--baseline", "base.json"]) == 1
+        assert "stale baseline" in capsys.readouterr().out
+
+
+class TestBaselineUnit:
+    def test_render_then_load(self, tmp_path):
+        f = Finding("REP004", "src/x.py", 3, 0, "msg", "assert x")
+        path = tmp_path / "b.json"
+        path.write_text(
+            render_baseline([f]).replace(
+                "TODO: justify this suppression", "legacy self-check"
+            )
+        )
+        entries = load_baseline(path)
+        kept, baselined, stale = apply_baseline([f], entries)
+        assert kept == [] and baselined == [f] and stale == []
+
+    def test_line_drift_does_not_unmatch(self, tmp_path):
+        f1 = Finding("REP004", "src/x.py", 3, 0, "msg", "assert x")
+        f2 = Finding("REP004", "src/x.py", 57, 4, "msg", "assert x")
+        path = tmp_path / "b.json"
+        path.write_text(
+            render_baseline([f1]).replace("TODO: justify this suppression", "ok")
+        )
+        kept, baselined, _ = apply_baseline([f2], load_baseline(path))
+        assert kept == [] and baselined == [f2]
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"suppressions": [{"rule": "REP004"}]}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestRunner:
+    def test_root_anchors_relative_paths(self, tree):
+        result = analyze_paths([tree / "src"], root=tree)
+        assert [f.path for f in result.findings] == ["src/repro/kmc/bad.py"]
+
+    def test_single_file_and_dedup(self, tree):
+        result = analyze_paths(
+            [tree / "src/repro/kmc/bad.py", tree / "src/repro/kmc"], root=tree
+        )
+        assert len(result.findings) == 1

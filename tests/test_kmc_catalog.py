@@ -92,7 +92,7 @@ class TestSelection:
         # Tiny rates followed by a huge one: partial sums collapse onto
         # the big value; every sample must still land on a positive rate
         # inside its bracket.
-        rates = np.array([1e-300] * 7 + [1e8])
+        rates = np.array([*[1e-300] * 7, 1e8])
         cat = EventCatalog(2)
         cat.set_row(0, np.arange(8, dtype=np.int64), rates)
         for u in [0.0, 1e-16, 0.3, 0.999999, 1.0 - 1e-16, 1.0]:
@@ -156,7 +156,7 @@ class TestIncrementalExactness:
         bulk.set_rows(rows, counts, targets, rates)
         single = EventCatalog(nrows)
         start = 0
-        for row, c in zip(rows, counts):
+        for row, c in zip(rows, counts, strict=True):
             single.set_row(int(row), targets[start : start + c], rates[start : start + c])
             start += c
         assert np.array_equal(bulk.tree, single.tree)
@@ -168,12 +168,12 @@ class TestBatchedRates:
         """vacancy_events_batch must reproduce vacancy_events exactly —
         same targets, bit-identical rates — across random occupancies."""
         rng = np.random.default_rng(11)
-        for trial in range(5):
+        for _trial in range(5):
             occ = place_random_vacancies(kmc_model8, 40, rng)
             vrows = np.flatnonzero(occ == VACANCY)
             counts, targets, rates = kmc_model8.vacancy_events_batch(vrows, occ)
             start = 0
-            for v, c in zip(vrows, counts):
+            for v, c in zip(vrows, counts, strict=True):
                 t_ref, r_ref = kmc_model8.vacancy_events(int(v), occ)
                 assert np.array_equal(targets[start : start + c], t_ref)
                 assert np.array_equal(rates[start : start + c], r_ref)

@@ -28,7 +28,7 @@ class TestSplitRange:
         bounds = split_range(17, 5)
         assert bounds[0][0] == 0
         assert bounds[-1][1] == 17
-        for (lo1, hi1), (lo2, _hi2) in zip(bounds, bounds[1:]):
+        for (_lo1, hi1), (lo2, _hi2) in zip(bounds, bounds[1:], strict=False):
             assert hi1 == lo2
 
     def test_too_many_parts_rejected(self):

@@ -159,7 +159,7 @@ class TestRunawayForces:
         run_rows = {state.n, state.n + 1}
         has_rr = any(
             int(a) in run_rows and int(b) in run_rows
-            for a, b in zip(table.i, table.j)
+            for a, b in zip(table.i, table.j, strict=True)
         )
         assert has_rr
 

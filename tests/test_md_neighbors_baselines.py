@@ -20,13 +20,13 @@ def brute_force_pairs(box, x, cutoff):
     d = box.minimum_image(x[None, :, :] - x[:, None, :])
     r = np.linalg.norm(d, axis=-1)
     ii, jj = np.nonzero(np.triu(r <= cutoff, k=1))
-    return set(zip(ii.tolist(), jj.tolist()))
+    return set(zip(ii.tolist(), jj.tolist(), strict=True))
 
 
 def pair_set_within(box, x, i, j, cutoff):
     d = box.minimum_image(x[j] - x[i])
     keep = np.linalg.norm(d, axis=-1) <= cutoff
-    return set(zip(i[keep].tolist(), j[keep].tolist()))
+    return set(zip(i[keep].tolist(), j[keep].tolist(), strict=True))
 
 
 @pytest.fixture(scope="module")
@@ -95,7 +95,7 @@ class TestLinkedCell:
         _lat, box, x = crystal
         lc = LinkedCellList(box, CUTOFF)
         i, j = lc.pairs(x)
-        assert set(zip(i.tolist(), j.tolist())) == brute_force_pairs(
+        assert set(zip(i.tolist(), j.tolist(), strict=True)) == brute_force_pairs(
             box, x, CUTOFF
         )
 
@@ -128,7 +128,7 @@ class TestLinkedCell:
         lc = LinkedCellList(box, CUTOFF)
         shifted = x + box.lengths  # whole box shift
         i, j = lc.pairs(shifted)
-        assert set(zip(i.tolist(), j.tolist())) == brute_force_pairs(
+        assert set(zip(i.tolist(), j.tolist(), strict=True)) == brute_force_pairs(
             box, x, CUTOFF
         )
 
@@ -146,7 +146,7 @@ class TestCrossStructureEquivalence:
         vi, vj = VerletNeighborList(box, CUTOFF).pairs(x)
         got_verlet = pair_set_within(box, x, vi, vj, CUTOFF)
         ci, cj = LinkedCellList(box, CUTOFF).pairs(x)
-        got_cell = set(zip(ci.tolist(), cj.tolist()))
+        got_cell = set(zip(ci.tolist(), cj.tolist(), strict=True))
         assert got_lattice == got_verlet == got_cell
 
     @given(seed=st.integers(0, 1000), sigma=st.floats(0.0, 0.12))

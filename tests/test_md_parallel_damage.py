@@ -65,10 +65,10 @@ def _assert_matches_serial(serial, result):
     )
     parallel_runs = sorted(
         (int(i), x.tolist())
-        for i, x in zip(result.runaway_ids, result.runaway_positions)
+        for i, x in zip(result.runaway_ids, result.runaway_positions, strict=True)
     )
     assert [r[0] for r in serial_runs] == [r[0] for r in parallel_runs]
-    for (sid, sx), (_pid, px) in zip(serial_runs, parallel_runs):
+    for (sid, sx), (_pid, px) in zip(serial_runs, parallel_runs, strict=True):
         assert np.abs(np.array(sx) - np.array(px)).max() < 1e-11, sid
 
 

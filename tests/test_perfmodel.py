@@ -97,7 +97,7 @@ class TestMDModel:
             3.2e10, paper_core_counts_strong()
         )
         effs = [r["efficiency"] for r in rows]
-        assert all(a >= b - 1e-12 for a, b in zip(effs, effs[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(effs, effs[1:], strict=False))
 
     def test_weak_scaling_paper_band(self, costs):
         # Paper: 85% at 6.656M cores; compute flat, comm grows.
@@ -163,7 +163,7 @@ class TestCoupledModel:
         assert rows[0]["efficiency"] == pytest.approx(1.0)
         assert 0.50 < rows[-1]["efficiency"] < 0.90
         effs = [r["efficiency"] for r in rows]
-        assert all(a >= b for a, b in zip(effs, effs[1:]))
+        assert all(a >= b for a, b in zip(effs, effs[1:], strict=False))
 
     def test_md_dominates_runtime(self, costs):
         # 50,000 MD steps dwarf the KMC cycles in the coupled budget,
