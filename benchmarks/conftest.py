@@ -35,11 +35,17 @@ def bench_phase_report(request):
 
     with obs.observing(trace=False) as registry:
         yield
+    summary = registry.summary()
+    summary["env"] = {
+        "backend": os.environ.get("REPRO_BACKEND") or "thread",
+        "workers": os.environ.get("REPRO_WORKERS") or None,
+        "cpu_count": os.cpu_count(),
+    }
     path = Path(outdir)
     path.mkdir(parents=True, exist_ok=True)
     name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
     with open(path / f"{name}.json", "w", encoding="utf-8") as fh:
-        json.dump(registry.summary(), fh, indent=1)
+        json.dump(summary, fh, indent=1)
 
 
 def print_rows(title: str, rows, columns) -> None:

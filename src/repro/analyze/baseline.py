@@ -19,6 +19,24 @@ class BaselineError(ValueError):
     """Malformed baseline file (schema, or missing justification)."""
 
 
+#: Placeholder justification emitted by ``--write-baseline``.
+TODO_JUSTIFICATION = "TODO: justify this suppression"
+
+
+def entry_is_justified(entry: dict) -> bool:
+    """Whether a baseline entry carries a real, human-written justification.
+
+    Freshly written entries are marked ``"justified": false`` and keep
+    the placeholder text; both signals must be cleared by hand (write
+    the actual reason *and* flip the flag / drop it) before the entry
+    counts as justified — so a generated baseline can never silently
+    pass CI.  Historical entries without the flag default to justified.
+    """
+    if entry.get("justified", True) is False:
+        return False
+    return entry["justification"].strip() != TODO_JUSTIFICATION
+
+
 def load_baseline(path: str | Path) -> list[dict]:
     """Parse and validate a baseline file."""
     try:
@@ -72,14 +90,16 @@ def render_baseline(findings: list[Finding]) -> str:
             "rule": f.rule,
             "path": f.path,
             "snippet": f.snippet,
-            "justification": "TODO: justify this suppression",
+            "justification": TODO_JUSTIFICATION,
+            "justified": False,
         }
         for f in sorted(set(findings), key=Finding.sort_key)
     ]
     doc = {
         "comment": (
             "Acknowledged repro.analyze findings.  Every entry must carry a "
-            "real justification; stale entries are reported by the scan."
+            "real justification and 'justified': true; unjustified and "
+            "stale entries are reported by the scan and fail it."
         ),
         "suppressions": entries,
     }

@@ -14,6 +14,7 @@ from repro.analyze import report
 from repro.analyze.baseline import (
     BaselineError,
     apply_baseline,
+    entry_is_justified,
     load_baseline,
     render_baseline,
 )
@@ -89,12 +90,14 @@ def main(argv: list[str] | None = None) -> int:
         Path(args.write_baseline).write_text(render_baseline(result.findings))
         print(
             f"wrote {len(result.findings)} suppression(s) to "
-            f"{args.write_baseline}; fill in the justifications",
+            f"{args.write_baseline} (marked 'justified': false); fill in "
+            "the justifications and flip the flags — the scan fails on "
+            "unjustified entries",
             file=out,
         )
         return 0
 
-    baselined, stale = [], []
+    baselined, stale, unjustified = [], [], []
     baseline_path = args.baseline
     if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
         baseline_path = DEFAULT_BASELINE
@@ -107,9 +110,16 @@ def main(argv: list[str] | None = None) -> int:
         result.findings, baselined, stale = apply_baseline(
             result.findings, entries
         )
+        unjustified = [e for e in entries if not entry_is_justified(e)]
 
     if args.format == "json":
-        print(report.format_json(result, baselined, stale), file=out)
+        print(
+            report.format_json(result, baselined, stale, unjustified),
+            file=out,
+        )
     else:
-        print(report.format_text(result, baselined, stale), file=out)
-    return 1 if result.findings else 0
+        print(
+            report.format_text(result, baselined, stale, unjustified),
+            file=out,
+        )
+    return 1 if (result.findings or unjustified) else 0

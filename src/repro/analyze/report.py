@@ -13,6 +13,7 @@ def format_text(
     result: AnalysisResult,
     baselined: list[Finding],
     stale_baseline: list[dict],
+    unjustified: list[dict] = (),
 ) -> str:
     lines: list[str] = []
     for f in result.findings:
@@ -23,6 +24,16 @@ def format_text(
         lines.append("")
         lines.append("stale baseline entries (fixed? remove them):")
         for entry in stale_baseline:
+            lines.append(
+                f"  {entry['rule']} {entry['path']}: {entry['snippet'][:60]}"
+            )
+    if unjustified:
+        lines.append("")
+        lines.append(
+            "unjustified baseline entries (write a justification and set "
+            "'justified': true):"
+        )
+        for entry in unjustified:
             lines.append(
                 f"  {entry['rule']} {entry['path']}: {entry['snippet'][:60]}"
             )
@@ -47,6 +58,7 @@ def as_json(
     result: AnalysisResult,
     baselined: list[Finding],
     stale_baseline: list[dict],
+    unjustified: list[dict] = (),
 ) -> dict:
     return {
         "version": 1,
@@ -55,6 +67,7 @@ def as_json(
         "baselined": [f.to_dict() for f in baselined],
         "suppressed": [f.to_dict() for f in result.suppressed],
         "stale_baseline": stale_baseline,
+        "unjustified_baseline": list(unjustified),
         "counts": dict(Counter(f.rule for f in result.findings)),
     }
 
@@ -63,8 +76,11 @@ def format_json(
     result: AnalysisResult,
     baselined: list[Finding],
     stale_baseline: list[dict],
+    unjustified: list[dict] = (),
 ) -> str:
-    return json.dumps(as_json(result, baselined, stale_baseline), indent=2)
+    return json.dumps(
+        as_json(result, baselined, stale_baseline, unjustified), indent=2
+    )
 
 
 def explain(code: str) -> str | None:

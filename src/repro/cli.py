@@ -134,13 +134,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     coupled.add_argument(
         "--backend",
-        choices=("thread", "process"),
+        choices=("thread", "process", "overdecomposed"),
         default=None,
         help=(
             "execution backend for the parallel KMC ranks: 'thread' "
-            "(default) or 'process' (one OS process per rank, real "
-            "multi-core parallelism; results are bit-identical); "
+            "(default), 'process' (one OS process per rank, real "
+            "multi-core parallelism), or 'overdecomposed' (R logical "
+            "ranks cooperatively scheduled on --workers OS workers; "
+            "results are bit-identical across all three); "
             "the REPRO_BACKEND environment variable sets the default"
+        ),
+    )
+    coupled.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "physical workers for the overdecomposed/rank-group "
+            "backends (default: REPRO_WORKERS or the cpu count)"
         ),
     )
     _add_observe_flags(coupled)
@@ -163,9 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
     schemes.add_argument("--seed", type=int, default=5)
     schemes.add_argument(
         "--backend",
-        choices=("thread", "process"),
+        choices=("thread", "process", "overdecomposed"),
         default=None,
         help="simmpi execution backend (default: REPRO_BACKEND or thread)",
+    )
+    schemes.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "physical workers for the overdecomposed/rank-group "
+            "backends (default: REPRO_WORKERS or the cpu count)"
+        ),
     )
     _add_observe_flags(schemes)
 
@@ -280,6 +302,7 @@ def cmd_coupled(args) -> int:
             kmc_max_events=args.events,
             kmc_nranks=kmc_nranks,
             kmc_backend=args.backend,
+            kmc_workers=args.workers,
             kmc_max_cycles=args.kmc_cycles,
             seed=args.seed,
             sunway_model=profiling,
@@ -314,6 +337,8 @@ def cmd_coupled(args) -> int:
         )
     elif result.recoveries:
         print(f"recoveries: {result.recoveries}")
+    if result.migrations:
+        print(f"migrations: {result.migrations}")
     _finish_observation(args, registry)
     return 0
 
@@ -376,6 +401,7 @@ def cmd_kmc_schemes(args) -> int:
             scheme=scheme,
             seed=args.seed,
             backend=args.backend,
+            workers=args.workers,
         )
         result = engine.run(occ0, max_cycles=args.cycles)
         stats = result.comm_stats

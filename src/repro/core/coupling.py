@@ -61,7 +61,11 @@ class CoupledConfig:
         engine with the chosen communication scheme.
     kmc_backend:
         Execution backend for the parallel KMC world (``"thread"`` /
-        ``"process"``; ``None`` defers to ``REPRO_BACKEND``).
+        ``"process"`` / ``"overdecomposed"``; ``None`` defers to
+        ``REPRO_BACKEND``).
+    kmc_workers:
+        Physical worker count for the overdecomposed / rank-group
+        backends (``None`` defers to ``REPRO_WORKERS`` / cpu count).
     kmc_max_cycles:
         Parallel KMC cycle budget.
     seed:
@@ -113,6 +117,7 @@ class CoupledConfig:
     kmc_nranks: int | None = None
     kmc_scheme: str = "ondemand"
     kmc_backend: str | None = None
+    kmc_workers: int | None = None
     kmc_max_cycles: int = 50
     seed: int = 2018
     table_points: int = 2000
@@ -185,6 +190,9 @@ class CoupledResult:
     sunway_report: dict | None = None
     #: How many times the KMC stage was restarted after a fault.
     recoveries: int = 0
+    #: Crashed logical ranks replayed in place on a surviving worker
+    #: (overdecomposed backend) — no world restart involved.
+    migrations: int = 0
     #: Injector counters (crashes/delays/duplicates/stalls), when faults
     #: were planned.
     fault_report: dict | None = None
@@ -321,6 +329,7 @@ class CoupledSimulation:
             faults=injector,
             watchdog=cfg.watchdog,
             backend=cfg.kmc_backend,
+            workers=cfg.kmc_workers,
         )
         occ0 = resume.occupancy if resume is not None else occupancy
         return engine.run(
@@ -442,5 +451,6 @@ class CoupledSimulation:
             comm_stats=kmc.comm_stats,
             sunway_report=sunway_report,
             recoveries=recoveries,
+            migrations=(kmc.comm_stats or {}).get("migrations", 0),
             fault_report=fault_report,
         )

@@ -49,13 +49,21 @@ def run_measured(
     ranks_list=(1, 2, 4),
     backend: str = "process",
     seed: int = 3,
+    workers: int | None = None,
 ) -> dict:
     """Executed strong scaling: one damage MD problem, varying rank count.
 
-    Returns rows of ``{"ranks", "wall_s", "speedup", "efficiency"}``
-    (speedup relative to the 1-rank run on the *same* backend) plus a
-    fingerprint of the final positions, so callers can assert that every
-    rank count — and every backend — computed the same trajectory.
+    Returns rows of ``{"ranks", "workers", "wall_s", "speedup",
+    "efficiency"}`` (speedup relative to the first-listed rank count on
+    the *same* backend) plus a fingerprint of the final positions, so
+    callers can assert that every rank count — and every backend —
+    computed the same trajectory.
+
+    ``workers`` selects the physical worker count for the
+    ``overdecomposed`` / rank-group backends: paper-scale logical
+    decompositions (64–1024 ranks) then become *measured* runs on a
+    handful of cores, and the returned ``natoms``/``wall_s`` feed
+    :func:`repro.perfmodel.calibrate.calibrate_from_measured`.
     """
     import numpy as np
 
@@ -65,19 +73,22 @@ def run_measured(
 
     config = MDConfig(temperature=300.0, seed=seed)
     pka = (10, np.array([60.0, 35.0, 25.0]))
+    lattice_shape = (cells, cells, cells)
+    natoms = BCCLattice(*lattice_shape).nsites
     rows = []
     fingerprints = set()
     for nranks in ranks_list:
         engine = ParallelDamageMD(
-            BCCLattice(cells, cells, cells),
+            BCCLattice(*lattice_shape),
             config=config,
             nranks=nranks,
             backend=backend,
+            workers=workers,
         )
         t0 = time.perf_counter()
         result = engine.run(nsteps, pka=pka)
         wall = time.perf_counter() - t0
-        rows.append({"ranks": nranks, "wall_s": wall})
+        rows.append({"ranks": nranks, "workers": workers, "wall_s": wall})
         fingerprints.add(result.positions.tobytes())
     base = rows[0]["wall_s"]
     for row in rows:
@@ -85,8 +96,10 @@ def run_measured(
         row["efficiency"] = row["speedup"] / (row["ranks"] / rows[0]["ranks"])
     return {
         "backend": backend,
+        "workers": workers,
         "cells": cells,
         "nsteps": nsteps,
+        "natoms": natoms,
         "rows": rows,
         "deterministic": len(fingerprints) == 1,
     }

@@ -58,16 +58,23 @@ def run_measured(
     backend: str = "process",
     scheme: str = "ondemand",
     seed: int = 5,
+    workers: int | None = None,
 ) -> dict:
     """Executed strong scaling: one parallel-AKMC problem, varying ranks.
 
-    Returns rows of ``{"ranks", "wall_s", "speedup", "efficiency",
-    "events"}`` (speedup relative to the smallest rank count on the same
-    backend) plus a determinism flag over the final occupancies.  Note
-    AKMC trajectories are a function of (seed, rank, cycle, sector), so
-    different rank counts legitimately walk different trajectories —
-    determinism is only asserted per rank count across repeats/backends,
-    not across rank counts.
+    Returns rows of ``{"ranks", "workers", "wall_s", "speedup",
+    "efficiency", "events"}`` (speedup relative to the smallest rank
+    count on the same backend).  Note AKMC trajectories are a function
+    of (seed, rank, cycle, sector), so different rank counts
+    legitimately walk different trajectories — determinism is only
+    asserted per rank count across repeats/backends, not across rank
+    counts.
+
+    ``workers`` selects the physical worker count for the
+    ``overdecomposed`` / rank-group backends: paper-scale logical
+    decompositions (64–1024 masters) then become *measured* runs on a
+    handful of cores, and the returned ``events``/``wall_s`` feed
+    :func:`repro.perfmodel.calibrate.calibrate_from_measured`.
     """
     import numpy as np
 
@@ -94,20 +101,30 @@ def run_measured(
             scheme=scheme,
             seed=seed,
             backend=backend,
+            workers=workers,
         )
         t0 = time.perf_counter()
         result = engine.run(occ0.copy(), max_cycles=max_cycles)
         wall = time.perf_counter() - t0
-        rows.append({"ranks": nranks, "wall_s": wall, "events": result.events})
+        rows.append(
+            {
+                "ranks": nranks,
+                "workers": workers,
+                "wall_s": wall,
+                "events": result.events,
+            }
+        )
     base = rows[0]
     for row in rows:
         row["speedup"] = base["wall_s"] / row["wall_s"]
         row["efficiency"] = row["speedup"] / (row["ranks"] / base["ranks"])
     return {
         "backend": backend,
+        "workers": workers,
         "scheme": scheme,
         "cells": cells,
         "max_cycles": max_cycles,
+        "nsites": lattice.nsites,
         "rows": rows,
     }
 

@@ -423,8 +423,12 @@ class ParallelAKMC:
         recv/probe/collectives; ``None`` keeps them deadline-free.
     backend:
         Execution backend for the :class:`World`: ``"thread"``,
-        ``"process"``, or ``None`` to defer to ``REPRO_BACKEND`` /
-        thread.  Trajectories are bit-identical across backends.
+        ``"process"``, ``"overdecomposed"``, or ``None`` to defer to
+        ``REPRO_BACKEND`` / thread.  Trajectories are bit-identical
+        across backends.
+    workers:
+        Physical worker count for the overdecomposed / rank-group
+        backends; ``None`` defers to ``REPRO_WORKERS`` / cpu count.
     """
 
     def __init__(
@@ -441,6 +445,7 @@ class ParallelAKMC:
         faults=None,
         watchdog: float | None = None,
         backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {list(SCHEMES)}")
@@ -459,6 +464,7 @@ class ParallelAKMC:
         self.faults = faults
         self.watchdog = watchdog
         self.backend = backend
+        self.workers = workers
         self.width = ghost_width_cells(lattice, self.params)
 
     @property
@@ -624,17 +630,20 @@ class ParallelAKMC:
             faults=self.faults,
             watchdog=self.watchdog,
             backend=self.backend,
+            workers=self.workers,
         )
         results = world.run(rank_main)
         global_occ = np.empty(lattice.nsites, dtype=np.int8)
         for res in results:
             global_occ[res["owned"]] = res["occ"]
         vac = np.flatnonzero(global_occ == VACANCY)
+        stats = world.stats.snapshot()
+        stats["migrations"] = world.migrations
         return KMCResult(
             occupancy=global_occ,
             time=results[0]["time"],
             cycles=results[0]["cycles"],
             events=results[0]["events"],
             vacancy_ranks=vac,
-            comm_stats=world.stats.snapshot(),
+            comm_stats=stats,
         )

@@ -96,6 +96,7 @@ class ParallelDamageMD:
         nranks: int | None = None,
         network=None,
         backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.lattice = lattice
         self.config = config or MDConfig()
@@ -110,6 +111,7 @@ class ParallelDamageMD:
         self.box = Box.for_lattice(lattice)
         self.network = network
         self.backend = backend
+        self.workers = workers
 
     @property
     def nranks(self) -> int:
@@ -391,7 +393,12 @@ class ParallelDamageMD:
                 "runaway_x": np.array([a.x for a in runs]).reshape(-1, 3),
             }
 
-        world = World(self.nranks, network=self.network, backend=self.backend)
+        world = World(
+            self.nranks,
+            network=self.network,
+            backend=self.backend,
+            workers=self.workers,
+        )
         results = world.run(rank_main)
         nsites = lattice.nsites
         x = np.zeros((nsites, 3))

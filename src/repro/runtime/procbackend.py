@@ -84,6 +84,23 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _rank_groups(nranks: int, workers: int) -> list[list[int]]:
+    """Contiguous split of ``nranks`` ranks over ``workers`` children.
+
+    Mirrors the paper's block decomposition of subdomains over nodes:
+    neighbouring ranks land in the same child wherever possible, so the
+    halo traffic that dominates the exchange schemes stays in-process.
+    """
+    n_groups = max(1, min(int(workers), nranks))
+    base, extra = divmod(nranks, n_groups)
+    groups, start = [], 0
+    for gi in range(n_groups):
+        size = base + (1 if gi < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
 class _Endpoints:
     """All shared transport state, created in the parent before forking."""
 
@@ -268,8 +285,16 @@ class _MailboxRouter:
         ]
 
     def __getitem__(self, dest: int):
-        if dest == self._view.rank:
-            return self._view.local_mailbox
+        view = self._view
+        if dest == view.rank:
+            return view.local_mailbox
+        if view.hosted is not None:
+            peer = view.hosted.get(dest)
+            if peer is not None:
+                # Rank-group mode: the destination lives in this same
+                # child, so deposit straight into its mailbox — no queue,
+                # no pickle, no feeder-thread latency.
+                return peer.local_mailbox
         return self._remotes[dest]
 
 
@@ -281,17 +306,34 @@ class _ProcessWorldView:
     ``faults``, ``watchdog`` — backed by the process transport, plus the
     pump thread that moves inbound envelopes into the local mailbox and
     window hub.
+
+    In rank-group mode several views live in one child and share a
+    ``hosted`` registry (rank -> view) plus one :class:`TrafficStats`;
+    traffic between co-hosted ranks is routed in-process through the
+    peer's mailbox/hub, and only cross-group traffic touches the queues.
     """
 
     def __init__(
-        self, rank, nranks, endpoints, network, faults, watchdog
+        self,
+        rank,
+        nranks,
+        endpoints,
+        network,
+        faults,
+        watchdog,
+        stats=None,
+        hosted=None,
     ) -> None:
         self.rank = rank
         self.nranks = nranks
         self.endpoints = endpoints
-        self.stats = TrafficStats(nranks, network)
+        self.stats = stats if stats is not None else TrafficStats(nranks, network)
         self.faults = faults
         self.watchdog = watchdog
+        self.scheduler = None
+        self.hosted = hosted
+        if hosted is not None:
+            hosted[rank] = self
         self.abort = threading.Event()
         self.local_mailbox = _Mailbox()
         self.hub = _WindowHub()
@@ -317,10 +359,17 @@ class _ProcessWorldView:
             self.hub.deliver(
                 win_id, self.rank, payload, nbytes, msg_id, self.faults
             )
-        else:
-            self.endpoints.inboxes[target].put(
-                (_WIN, win_id, self.rank, payload, nbytes, msg_id)
-            )
+            return
+        if self.hosted is not None:
+            peer = self.hosted.get(target)
+            if peer is not None:
+                peer.hub.deliver(
+                    win_id, self.rank, payload, nbytes, msg_id, peer.faults
+                )
+                return
+        self.endpoints.inboxes[target].put(
+            (_WIN, win_id, self.rank, payload, nbytes, msg_id)
+        )
 
     def _pump_loop(self) -> None:
         inbox = self.endpoints.inboxes[self.rank]
@@ -470,63 +519,108 @@ def _ensure_picklable(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _child_entry(
-    main, rank, nranks, endpoints, conn, network, faults, watchdog, obs_trace
+def _group_entry(
+    main, gi, ranks, nranks, endpoints, conn, network, faults, watchdog, obs_trace
 ) -> None:
-    """Entry point of one forked rank process."""
-    threading.current_thread().name = f"simmpi-rank-{rank}"
+    """Entry point of one forked child hosting a contiguous rank group.
+
+    The default configuration forks one child per rank (``ranks`` is a
+    singleton); with ``workers=P < nranks`` each child hosts ``~R/P``
+    ranks as threads sharing one traffic ledger, observe registry, and
+    injector copy — the overdecomposition analogue of several subdomains
+    pinned to one physical node.
+    """
     if faults is not None:
         # Namespace this child's duplicate message ids: the per-process
-        # injector copies allocate ids independently.
-        faults.msg_id_tag = rank + 1
+        # injector copies allocate ids independently.  Groups are
+        # contiguous, so the lowest hosted rank is unique per child.
+        faults.msg_id_tag = ranks[0] + 1
     child_registry = None
     if obs_trace is not None:
         from repro.observe.registry import Registry
 
         child_registry = obs.enable(Registry(trace=obs_trace))
-    view = _ProcessWorldView(rank, nranks, endpoints, network, faults, watchdog)
-    comm = _ProcessRankComm(view, rank)
-    status, result, error = "ok", None, None
-    try:
-        result = main(comm)
-    except WorldAborted:
-        status = "aborted"
-    except BaseException as exc:  # must cross processes (see baseline)
-        status, error = "err", _ensure_picklable(exc)
-    view.quiesce()
+    stats = TrafficStats(nranks, network)
+    hosted: dict[int, _ProcessWorldView] = {}
+    # All views exist (and are registered in ``hosted``) before any rank
+    # runs, so in-process routing is complete from the first send.
+    views = [
+        _ProcessWorldView(
+            r, nranks, endpoints, network, faults, watchdog,
+            stats=stats, hosted=hosted,
+        )
+        for r in ranks
+    ]
+    statuses: dict[int, str] = {}
+    results: dict[int, object] = {}
+    errors: dict[int, BaseException] = {}
+
+    def rank_main(view: _ProcessWorldView) -> None:
+        comm = _ProcessRankComm(view, view.rank)
+        try:
+            results[view.rank] = main(comm)
+            statuses[view.rank] = "ok"
+        except WorldAborted:
+            statuses[view.rank] = "aborted"
+        except BaseException as exc:  # must cross processes (see baseline)
+            statuses[view.rank] = "err"
+            errors[view.rank] = _ensure_picklable(exc)
+            # Abort the whole world from inside the child, exactly as
+            # the parent would: co-hosted ranks see it via their pumps.
+            _abort_all(endpoints)
+
+    threads = [
+        threading.Thread(
+            target=rank_main, args=(view,), name=f"simmpi-rank-{view.rank}"
+        )
+        for view in views
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for view in views:
+        view.quiesce()
     report = {
-        "rank": rank,
-        "status": status,
-        "result": result,
-        "error": error,
-        "stats": view.stats.export_state(),
+        "group": gi,
+        "ranks": list(ranks),
+        "statuses": statuses,
+        "results": results,
+        "errors": errors,
+        "stats": stats.export_state(),
         "obs": (
             child_registry.export_state() if child_registry is not None else None
         ),
         "faults": faults.export_state() if faults is not None else None,
-        "pending": view.local_mailbox.pending(),
-        "seen_ids": view.local_mailbox._seen_ids,
+        "pending": sum(v.local_mailbox.pending() for v in views),
+        "seen_ids": set().union(
+            *((v.local_mailbox._seen_ids or set()) for v in views)
+        ),
     }
     try:
         conn.send(report)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        # The result failed to pickle: count it, then resend a stub
+        # A result failed to pickle: count it, then resend a stub
         # report so the parent is never left blocking on the pipe.
         obs.add("runtime.procbackend.unpicklable_results")
-        report["status"] = "err"
-        report["result"] = None
-        report["error"] = RuntimeError(
-            f"rank {rank} produced an unpicklable result: {exc}"
-        )
+        report["results"] = {}
+        report["statuses"] = {r: "err" for r in ranks}
+        report["errors"] = {
+            ranks[0]: RuntimeError(
+                f"rank group {ranks[0]}-{ranks[-1]} produced an "
+                f"unpicklable result: {exc}"
+            )
+        }
         conn.send(report)
     finally:
         conn.close()
 
 
 def run_process_world(
-    world, main, timeout: float = 300.0, grace: float = 5.0
+    world, main, timeout: float = 300.0, grace: float = 5.0,
+    workers: int | None = None,
 ) -> list:
-    """Execute ``main(comm)`` with one forked process per rank.
+    """Execute ``main(comm)`` with forked processes hosting the ranks.
 
     Drop-in replacement for the thread path of
     :meth:`~repro.runtime.simmpi.World.run`: same result list, same
@@ -535,6 +629,11 @@ def run_process_world(
     failed')``), same TimeoutError shape on a hung world — and the
     world's stats/faults plus the active observe registry absorb every
     child's measurements before control returns.
+
+    ``workers=None`` (default) forks one child per rank.  ``workers=P``
+    forks ``min(P, nranks)`` children, each hosting a contiguous group
+    of ~R/P ranks as threads with in-process routing inside the group —
+    the overdecomposed process topology.
     """
     from repro.runtime.faults import InjectedFault
 
@@ -548,6 +647,11 @@ def run_process_world(
         # (sandboxes, some CI runners): behave like the thread backend.
         return world.run(main, timeout=timeout, grace=grace, backend="thread")
     nranks = world.nranks
+    groups = (
+        _rank_groups(nranks, workers)
+        if workers is not None
+        else [[r] for r in range(nranks)]
+    )
     ctx = multiprocessing.get_context("fork")
     endpoints = _Endpoints(ctx, nranks)
     registry = obs.active()
@@ -556,13 +660,19 @@ def run_process_world(
         world.faults.export_state() if world.faults is not None else None
     )
     procs, conns = [], []
-    for rank in range(nranks):
+    for gi, ranks in enumerate(groups):
         parent_conn, child_conn = ctx.Pipe(duplex=False)
+        name = (
+            f"simmpi-rank-{ranks[0]}"
+            if len(ranks) == 1
+            else f"simmpi-group-{gi}"
+        )
         proc = ctx.Process(
-            target=_child_entry,
+            target=_group_entry,
             args=(
                 main,
-                rank,
+                gi,
+                ranks,
                 nranks,
                 endpoints,
                 child_conn,
@@ -571,7 +681,7 @@ def run_process_world(
                 world.watchdog,
                 obs_trace,
             ),
-            name=f"simmpi-rank-{rank}",
+            name=name,
             daemon=True,
         )
         procs.append(proc)
@@ -593,39 +703,46 @@ def run_process_world(
             _abort_all(endpoints)
 
     def collect(deadline: float) -> None:
-        """Drain reports/exits until all ranks reported or time ran out."""
-        pending = set(range(nranks)) - set(reports)
+        """Drain reports/exits until all children reported or time ran out."""
+        pending = set(range(len(groups))) - set(reports)
         while pending:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 return
-            waitables = [conns[r] for r in pending]
-            waitables += [procs[r].sentinel for r in pending]
+            waitables = [conns[g] for g in pending]
+            waitables += [procs[g].sentinel for g in pending]
             _mpconn.wait(waitables, timeout=remaining)
-            for r in list(pending):
-                if conns[r].poll():
+            for g in list(pending):
+                if conns[g].poll():
                     try:
-                        rep = conns[r].recv()
+                        rep = conns[g].recv()
                     except (EOFError, OSError):
                         rep = None
                     if rep is not None:
-                        reports[r] = rep
-                        pending.discard(r)
-                        if rep["status"] == "err":
-                            note_error(r, rep["error"])
+                        reports[g] = rep
+                        pending.discard(g)
+                        for r in rep["ranks"]:
+                            if rep["statuses"].get(r) == "err":
+                                note_error(r, rep["errors"][r])
                         continue
-                if not procs[r].is_alive() and not conns[r].poll():
-                    pending.discard(r)
+                if not procs[g].is_alive() and not conns[g].poll():
+                    pending.discard(g)
+                    ranks = groups[g]
+                    label = (
+                        f"rank {ranks[0]}"
+                        if len(ranks) == 1
+                        else f"rank group {ranks[0]}-{ranks[-1]}"
+                    )
                     note_error(
-                        r,
+                        ranks[0],
                         RuntimeError(
-                            f"rank {r} process exited with code "
-                            f"{procs[r].exitcode} without reporting"
+                            f"{label} process exited with code "
+                            f"{procs[g].exitcode} without reporting"
                         ),
                     )
 
     collect(time.monotonic() + timeout)
-    timed_out = len(reports) < nranks
+    timed_out = len(reports) < len(groups)
     if timed_out:
         if not aborted:
             aborted = True
@@ -642,16 +759,21 @@ def run_process_world(
 
     # Merge every child's measurements into the parent-side registries.
     pending_msgs = 0
-    for rank in range(nranks):
-        rep = reports.get(rank)
+    results_by_rank: dict[int, object] = {}
+    for gi, ranks in enumerate(groups):
+        rep = reports.get(gi)
         if rep is None:
             continue
+        results_by_rank.update(rep.get("results") or {})
         if rep.get("stats") is not None:
             world.stats.absorb_state(rep["stats"])
         if rep.get("faults") is not None and world.faults is not None:
             world.faults.absorb_state(rep["faults"], base=faults_base)
         if rep.get("obs") is not None and registry is not None:
-            registry.absorb_state(rep["obs"], label=f"rank{rank}/")
+            label = (
+                f"rank{ranks[0]}/" if len(ranks) == 1 else f"group{gi}/"
+            )
+            registry.absorb_state(rep["obs"], label=label)
         pending_msgs += rep.get("pending", 0)
 
     # Residual sweep: an envelope can still sit in a rank's inbox queue
@@ -685,12 +807,12 @@ def run_process_world(
     world._child_pending = pending_msgs
 
     if timed_out:
-        missing = sorted(set(range(nranks)) - set(reports))
+        missing = sorted(set(range(len(groups))) - set(reports))
         if missing:
             detail = (
                 f"; {len(missing)} rank process(es) still alive after a "
                 f"{grace:g}s abort grace period (terminated): "
-                + ", ".join(f"simmpi-rank-{r}" for r in missing)
+                + ", ".join(procs[g].name for g in missing)
             )
         else:
             detail = "; all ranks exited after the abort"
@@ -705,6 +827,4 @@ def run_process_world(
         if isinstance(exc, (InjectedFault, WatchdogTimeout)):
             raise exc
         raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
-    return [
-        reports[r]["result"] if r in reports else None for r in range(nranks)
-    ]
+    return [results_by_rank.get(r) for r in range(nranks)]

@@ -1,0 +1,411 @@
+"""Elastic rank scheduler: R logical ranks multiplexed on P OS workers.
+
+The paper's headline figures live in the thousands-of-ranks regime, far
+beyond any host's core count.  ``backend="overdecomposed"`` decouples the
+*logical* decomposition from the *physical* parallelism the way the
+production codes on Sunway do: :class:`~repro.runtime.simmpi.World`
+still spawns one rank program per logical rank, but only ``workers=P``
+of them may execute at any instant.  Scheduling is cooperative and
+happens exactly at the communication waits:
+
+* a rank that blocks in ``recv``/``probe``/``barrier``/``allgather``/
+  fence *yields* its worker slot back to the scheduler before parking on
+  the mailbox condition or collective barrier;
+* an idle worker slot is *stolen* by the longest-waiting runnable rank
+  (FIFO run queue — a released slot is handed directly to the queue
+  head, never bounced through a free pool, so admission is O(1) and
+  starvation-free);
+* when the wait completes (a matching deposit, the last barrier party,
+  a window fence quota), the rank re-enters the run queue and resumes
+  once a slot frees up.
+
+Because every blocking primitive yields, R > P cannot deadlock: a rank
+parked in a collective holds no slot, so the remaining parties always
+get to run.  And because scheduling only reorders *timing* — engines
+address receives by explicit (source, tag) and collectives return
+rank-ordered lists — R ranks on P workers produce physics bit-identical
+to R ranks on R threads, the same argument (and the same tests) that
+make the thread and process backends interchangeable.
+
+Rank migration
+--------------
+With a fault plan on the world, each rank's communication history is
+journaled (:class:`ReplayRankComm`).  When a planned crash fires, the
+scheduler does not restart the world: it *migrates* the rank — a
+replacement thread replays the journal (receives, collective results and
+fence drains return their recorded values; sends, puts and barriers are
+suppressed, their effects already being visible to the peers) and goes
+live exactly where the crash struck.  Peers blocked at the next
+collective simply wait a little longer; the trajectory, the final state,
+and the traffic ledger come out bit-identical to a fault-free run.
+The journal suppression is sound because injected crashes fire only at
+engine ``fault_point``s, which sit at quiescent cycle boundaries: no
+collective is in flight and every window epoch is fenced.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any
+
+from repro import observe as obs
+from repro.runtime.simmpi import (
+    RankComm,
+    Status,
+    WatchdogTimeout,
+    WorldAborted,
+    _freeze,
+)
+from repro.runtime.faults import InjectedFault
+
+
+class MigrationError(RuntimeError):
+    """A replayed rank diverged from its journal (should never happen)."""
+
+
+class RankScheduler:
+    """FIFO run-queue admission of R logical ranks to P worker slots.
+
+    A rank *holds* a slot while computing and *yields* it across every
+    blocking communication wait.  Released slots are handed directly to
+    the head of the run queue (each queued rank parks on its own event,
+    so a hand-off wakes exactly one thread).  :meth:`release_all` opens
+    the gate permanently — the world-abort path, after which admission
+    and release become no-ops and every rank runs free to observe the
+    abort flag and exit.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._active = 0
+        #: FIFO of (rank, event) waiting for a slot.
+        self._queue: deque[tuple[int, threading.Event]] = deque()
+        self._drain = False
+        #: Times a rank gave up its slot at a communication wait.
+        self.yields = 0
+        #: Times a freed slot was handed to a queued (stolen by an idle
+        #: worker, in the deque-of-runnable-ranks picture) rank.
+        self.steals = 0
+        self.peak_queued = 0
+
+    def acquire(self, rank: int) -> None:
+        """Block until a worker slot is available (FIFO order)."""
+        with self._lock:
+            if self._drain:
+                return
+            if self._active < self.workers and not self._queue:
+                self._active += 1
+                return
+            gate = threading.Event()
+            self._queue.append((rank, gate))
+            self.peak_queued = max(self.peak_queued, len(self._queue))
+        gate.wait()
+
+    def release(self, rank: int) -> None:
+        """Give the slot back; hand it straight to the queue head."""
+        with self._lock:
+            if self._drain:
+                return
+            if self._queue:
+                _next_rank, gate = self._queue.popleft()
+                self.steals += 1
+                gate.set()  # slot ownership transfers; _active unchanged
+            else:
+                self._active -= 1
+
+    @contextmanager
+    def waiting(self, rank: int):
+        """Wrap a blocking wait: yield the slot, re-acquire afterwards."""
+        with self._lock:
+            self.yields += 1
+        self.release(rank)
+        try:
+            yield
+        finally:
+            self.acquire(rank)
+
+    def release_all(self) -> None:
+        """Abort path: open the gate; all queued and future ranks run."""
+        with self._lock:
+            self._drain = True
+            queued = list(self._queue)
+            self._queue.clear()
+        for _rank, gate in queued:
+            gate.set()
+
+
+# ----------------------------------------------------------------------
+# Journaling communicator (the migration substrate)
+# ----------------------------------------------------------------------
+class _ReplayWindow:
+    """Window wrapper journaling puts and fences for replay."""
+
+    def __init__(self, comm: "ReplayRankComm", window) -> None:
+        self.comm = comm
+        self._window = window
+
+    def put(self, target: int, payload) -> None:
+        if self.comm._replaying():
+            self.comm._next("win_put")
+            return
+        self._window.put(target, payload)
+        self.comm._record(("win_put",))
+
+    def fence(self) -> list[tuple[int, Any]]:
+        if self.comm._replaying():
+            return _freeze(self.comm._next("win_fence")[1])
+        mine = self._window.fence()
+        self.comm._record(("win_fence", _freeze(mine)))
+        return mine
+
+
+class ReplayRankComm(RankComm):
+    """A RankComm that journals every communication for crash replay.
+
+    In *live* mode every operation is delegated to a raw
+    :class:`RankComm` over the same world and its outcome appended to
+    the journal.  After a migration the replacement incarnation runs in
+    *replay* mode: operations whose journal entry exists return the
+    recorded outcome instantly — receives and collective results are
+    served from the log, sends/puts/barriers are suppressed (the world
+    already saw them) — until the cursor reaches the journal end and the
+    rank seamlessly goes live.  Traffic stats are recorded only live, so
+    the ledger of a migrated run equals the fault-free one.
+    """
+
+    def __init__(self, world, rank: int, journal: list | None = None) -> None:
+        super().__init__(world, rank)
+        self._raw = RankComm(world, rank)
+        self._journal: list[tuple] = journal if journal is not None else []
+        self._cursor = 0
+
+    def reincarnate(self) -> "ReplayRankComm":
+        """A fresh incarnation replaying this comm's journal from the top."""
+        return ReplayRankComm(self.world, self.rank, journal=self._journal)
+
+    # -- journal plumbing ---------------------------------------------
+    def _replaying(self) -> bool:
+        return self._cursor < len(self._journal)
+
+    def _record(self, entry: tuple) -> None:
+        self._journal.append(entry)
+        self._cursor = len(self._journal)
+
+    def _next(self, kind: str) -> tuple:
+        entry = self._journal[self._cursor]
+        if entry[0] != kind:
+            raise MigrationError(
+                f"rank {self.rank} replay diverged: journal has "
+                f"{entry[0]!r} where the program performed {kind!r}"
+            )
+        self._cursor += 1
+        return entry
+
+    # -- two-sided ----------------------------------------------------
+    def send(self, dest: int, tag: int, payload=None) -> None:
+        if self._replaying():
+            self._next("send")
+            return
+        self._raw.send(dest, tag, payload)
+        self._record(("send",))
+
+    def recv(self, source: int = -1, tag: int = -1):
+        if self._replaying():
+            return _freeze(self._next("recv")[1])
+        out = self._raw.recv(source, tag)
+        self._record(("recv", _freeze(out)))
+        return out
+
+    def probe(self, source: int = -1, tag: int = -1) -> Status:
+        if self._replaying():
+            return self._next("probe")[1]
+        out = self._raw.probe(source, tag)
+        self._record(("probe", out))
+        return out
+
+    def iprobe(self, source: int = -1, tag: int = -1) -> Status | None:
+        if self._replaying():
+            return self._next("iprobe")[1]
+        out = self._raw.iprobe(source, tag)
+        self._record(("iprobe", out))
+        return out
+
+    # -- collectives --------------------------------------------------
+    def barrier(self) -> None:
+        if self._replaying():
+            self._next("barrier")
+            return
+        self._raw.barrier()
+        self._record(("barrier",))
+
+    def allgather(self, value) -> list:
+        if self._replaying():
+            return _freeze(self._next("allgather")[1])
+        out = self._raw.allgather(value)
+        self._record(("allgather", _freeze(out)))
+        return out
+
+    # allreduce/bcast reduce over self.allgather (inherited), so they
+    # journal through the allgather entries.
+
+    # -- one-sided ----------------------------------------------------
+    def win_create(self):
+        if self._replaying():
+            from repro.runtime.window import Window
+
+            shared = self._next("win_create")[1]
+            return _ReplayWindow(self, Window(self._raw, shared))
+        window = self._raw.win_create()
+        self._record(("win_create", window.shared))
+        return _ReplayWindow(self, window)
+
+
+# ----------------------------------------------------------------------
+# The overdecomposed World.run path
+# ----------------------------------------------------------------------
+def default_workers() -> int:
+    """P when none was given: every core the OS grants us."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_overdecomposed_world(
+    world,
+    main,
+    timeout: float = 300.0,
+    grace: float = 5.0,
+    workers: int | None = None,
+) -> list:
+    """Execute R logical ranks on P worker slots with rank migration.
+
+    Drop-in replacement for the thread path of ``World.run``: same
+    result list, same error precedence (KeyboardInterrupt, then typed
+    InjectedFault/WatchdogTimeout, then ``RuntimeError('rank N
+    failed')``), same TimeoutError shape.  With a fault plan on the
+    world (and ``migration`` not explicitly disabled), a planned crash
+    is survived *in place*: the crashed rank's journal is replayed on a
+    replacement thread instead of aborting the world.
+    """
+    nranks = world.nranks
+    chosen = workers if workers is not None else world.workers
+    if chosen is None:
+        chosen = default_workers()
+    nworkers = max(1, min(int(chosen), nranks))
+    scheduler = RankScheduler(nworkers)
+    world.scheduler = scheduler
+    migration = world.migration
+    journaling = (
+        world.faults is not None if migration is None else bool(migration)
+    )
+
+    results: list[Any] = [None] * nranks
+    threads: list[threading.Thread] = []
+    state_lock = threading.Lock()
+    fin_cond = threading.Condition()
+    finished = 0
+
+    def launch(rank: int, comm, incarnation: int = 0) -> None:
+        suffix = f".{incarnation}" if incarnation else ""
+        t = threading.Thread(
+            target=wrapper,
+            args=(rank, comm, incarnation),
+            name=f"simmpi-rank-{rank}{suffix}",
+            daemon=True,
+        )
+        with state_lock:
+            threads.append(t)
+        t.start()
+
+    def wrapper(rank: int, comm, incarnation: int) -> None:
+        nonlocal finished
+        scheduler.acquire(rank)
+        migrated = False
+        try:
+            results[rank] = main(comm)
+        except WorldAborted:
+            pass
+        except InjectedFault as exc:
+            if (
+                journaling
+                and isinstance(comm, ReplayRankComm)
+                and not world.abort.is_set()
+            ):
+                # Migrate: replay this rank's journal on a fresh thread
+                # instead of tearing the world down.  Planned crashes
+                # are one-shot, so the replay cannot re-fire this spec.
+                with state_lock:
+                    world.migrations += 1
+                obs.add("runtime.migrations")
+                migrated = True
+                launch(rank, comm.reincarnate(), incarnation + 1)
+            else:
+                with world._error_lock:
+                    world._errors.append((rank, exc))
+                world.abort_world()
+        except BaseException as exc:  # must cross threads (see baseline)
+            with world._error_lock:
+                world._errors.append((rank, exc))
+            world.abort_world()
+        finally:
+            scheduler.release(rank)
+            if not migrated:
+                with fin_cond:
+                    finished += 1
+                    fin_cond.notify_all()
+
+    for rank in range(nranks):
+        comm: RankComm = (
+            ReplayRankComm(world, rank) if journaling else RankComm(world, rank)
+        )
+        launch(rank, comm)
+
+    def wait_until(deadline: float) -> None:
+        nonlocal finished
+        with fin_cond:
+            while finished < nranks:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                fin_cond.wait(remaining)
+
+    wait_until(time.monotonic() + timeout)
+    try:
+        if finished < nranks:
+            world.abort_world()
+            wait_until(time.monotonic() + grace)
+            with state_lock:
+                alive = [t.name for t in threads if t.is_alive()]
+            if alive:
+                detail = (
+                    f"; {len(alive)} rank thread(s) still alive after a "
+                    f"{grace:g}s abort grace period (leaked): "
+                    + ", ".join(alive)
+                )
+            else:
+                detail = "; all ranks exited after the abort"
+            raise TimeoutError(
+                f"world of {nranks} ranks timed out after {timeout:g}s"
+                + detail
+            )
+    finally:
+        obs.add("runtime.scheduler.yields", scheduler.yields)
+        obs.add("runtime.scheduler.steals", scheduler.steals)
+        world.scheduler = None
+    if world._errors:
+        rank, exc = world._errors[0]
+        for _rank, e in world._errors:
+            if isinstance(e, KeyboardInterrupt):
+                raise e
+        if isinstance(exc, (InjectedFault, WatchdogTimeout)):
+            raise exc
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return results

@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -213,12 +214,31 @@ class _Collectives:
         return out
 
 
+#: Reusable no-op context for worlds without a scheduler: the thread and
+#: process backends pay one attribute check per blocking call, nothing
+#: more.
+_NO_YIELD = nullcontext()
+
+
 class RankComm:
     """The communicator handle passed to each rank's ``main`` function."""
 
     def __init__(self, world: "World", rank: int) -> None:
         self.world = world
         self.rank = rank
+
+    def _yielding(self):
+        """Scheduler yield context around a blocking wait (or a no-op).
+
+        On the overdecomposed backend a rank gives its worker slot back
+        to the scheduler for the duration of any blocking communication
+        wait; elsewhere ``world.scheduler`` is ``None`` and this costs a
+        single attribute check.
+        """
+        scheduler = self.world.scheduler
+        if scheduler is None:
+            return _NO_YIELD
+        return scheduler.waiting(self.rank)
 
     @property
     def size(self) -> int:
@@ -285,7 +305,7 @@ class RankComm:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns ``(source, tag, payload)``."""
-        with obs.phase("runtime.recv"):
+        with obs.phase("runtime.recv"), self._yielding():
             src, t, payload, nbytes = self.world.mailboxes[self.rank].take(
                 source, tag, self.world.abort, self._deadline()
             )
@@ -294,7 +314,7 @@ class RankComm:
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: envelope of the next matching message."""
-        with obs.phase("runtime.probe"):
+        with obs.phase("runtime.probe"), self._yielding():
             src, t, _payload, nbytes = self.world.mailboxes[self.rank].peek(
                 source, tag, self.world.abort, self._deadline()
             )
@@ -315,14 +335,14 @@ class RankComm:
         """Synchronize all ranks."""
         if self.rank == 0:
             self.world.stats.record_collective(0)
-        with obs.phase("runtime.collective"):
+        with obs.phase("runtime.collective"), self._yielding():
             self.world.collectives.wait(self.world.watchdog)
 
     def allgather(self, value) -> list:
         """Every rank contributes ``value``; all get the list by rank."""
         if self.rank == 0:
             self.world.stats.record_collective(payload_nbytes(value))
-        with obs.phase("runtime.collective"):
+        with obs.phase("runtime.collective"), self._yielding():
             return self.world.collectives.exchange(
                 self.rank, _freeze(value), self.world.watchdog
             )
@@ -366,28 +386,58 @@ class RankComm:
 
         # Control-plane exchange: bypasses stats metering and payload
         # freezing (the shared handle must be identical on all ranks).
-        values = self.world.collectives.exchange(
-            self.rank, WindowShared(self.size) if self.rank == 0 else None
-        )
+        with self._yielding():
+            values = self.world.collectives.exchange(
+                self.rank, WindowShared(self.size) if self.rank == 0 else None
+            )
         return Window(self, values[0])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RankComm(rank={self.rank}, size={self.size})"
 
 
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "overdecomposed")
 
 
 def resolve_backend(backend: str | None) -> str:
-    """Normalize a backend choice: explicit > ``REPRO_BACKEND`` > thread."""
+    """Normalize a backend choice: explicit > ``REPRO_BACKEND`` > thread.
+
+    A ``REPRO_BACKEND`` that is unset, empty, or whitespace-only falls
+    back to ``"thread"``; anything else must name a known backend.
+    """
     if backend is None:
-        backend = os.environ.get("REPRO_BACKEND") or "thread"
+        env = os.environ.get("REPRO_BACKEND")
+        backend = (env.strip() if env is not None else "") or "thread"
     backend = str(backend).strip().lower()
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown simmpi backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+def resolve_workers(workers: int | str | None) -> int | None:
+    """Normalize a worker count: explicit > ``REPRO_WORKERS`` > ``None``.
+
+    ``None`` (with no usable env value) means "backend default": the
+    rank count for the process backend, the host's core count for the
+    overdecomposed backend.  Mirrors :func:`resolve_backend` — an unset,
+    empty, or whitespace-only ``REPRO_WORKERS`` counts as absent.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if not env:
+            return None
+        workers = env
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"workers must be a positive integer, got {workers!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {count}")
+    return count
 
 
 class World:
@@ -414,11 +464,30 @@ class World:
         timer-free.
     backend:
         Execution backend: ``"thread"`` (ranks as threads, the
-        historical behavior) or ``"process"`` (one forked OS process per
-        rank via :mod:`repro.runtime.procbackend`, for real multi-core
-        parallelism).  ``None`` (the default) defers to the
+        historical behavior), ``"process"`` (one forked OS process per
+        rank — or per rank *group* with ``workers`` — via
+        :mod:`repro.runtime.procbackend`, for real multi-core
+        parallelism), or ``"overdecomposed"`` (R logical ranks
+        cooperatively scheduled on P worker slots via
+        :mod:`repro.runtime.scheduler`, for decompositions far beyond
+        the host's core count).  ``None`` (the default) defers to the
         ``REPRO_BACKEND`` environment variable, falling back to
         ``"thread"``.
+    workers:
+        Physical parallelism P under the logical decomposition.  For
+        ``"overdecomposed"`` this is the number of concurrently running
+        rank slots (default: the host's core count); for ``"process"``
+        it is the number of forked children, each hosting a contiguous
+        group of R/P ranks with in-process routing inside the group
+        (default: one child per rank).  ``None`` defers to the
+        ``REPRO_WORKERS`` environment variable, falling back to the
+        backend default.  Results are bit-identical for every P.
+    migration:
+        Overdecomposed-backend fault policy.  ``None`` (auto) journals
+        rank communication whenever the world carries a fault plan, so
+        a planned crash is survived by *migrating* the rank (journal
+        replay on a replacement thread) instead of aborting the world;
+        ``True``/``False`` force journaling on/off.
     """
 
     def __init__(
@@ -428,6 +497,8 @@ class World:
         faults: FaultPlan | FaultInjector | None = None,
         watchdog: float | None = None,
         backend: str | None = None,
+        workers: int | None = None,
+        migration: bool | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -435,6 +506,8 @@ class World:
             raise ValueError(f"watchdog must be positive, got {watchdog}")
         self.nranks = nranks
         self.backend = resolve_backend(backend)
+        self.workers = resolve_workers(workers)
+        self.migration = migration
         self.stats = TrafficStats(nranks, network or NetworkModel())
         self.mailboxes = [_Mailbox() for _ in range(nranks)]
         self.collectives = _Collectives(nranks)
@@ -443,6 +516,10 @@ class World:
             FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
         )
         self.watchdog = watchdog
+        #: The active RankScheduler on the overdecomposed backend.
+        self.scheduler = None
+        #: Ranks migrated (journal-replayed) after an injected crash.
+        self.migrations = 0
         self._errors: list[tuple[int, BaseException]] = []
         self._error_lock = threading.Lock()
         self._child_pending = 0
@@ -453,6 +530,7 @@ class World:
         timeout: float = 300.0,
         grace: float = 5.0,
         backend: str | None = None,
+        workers: int | None = None,
     ) -> list:
         """Execute ``main(comm)`` on every rank; return per-rank results.
 
@@ -464,14 +542,26 @@ class World:
         ranks get ``grace`` seconds to exit after the abort; any that
         are still alive are named in the :class:`TimeoutError`.
 
-        ``backend`` overrides the world's configured backend for this
-        run; both accept ``"thread"`` and ``"process"``.
+        ``backend`` and ``workers`` override the world's configuration
+        for this run; backends are ``"thread"``, ``"process"``, and
+        ``"overdecomposed"``.
         """
         resolved = resolve_backend(backend) if backend else self.backend
+        run_workers = (
+            resolve_workers(workers) if workers is not None else self.workers
+        )
         if resolved == "process":
             from repro.runtime.procbackend import run_process_world
 
-            return run_process_world(self, main, timeout=timeout, grace=grace)
+            return run_process_world(
+                self, main, timeout=timeout, grace=grace, workers=run_workers
+            )
+        if resolved == "overdecomposed":
+            from repro.runtime.scheduler import run_overdecomposed_world
+
+            return run_overdecomposed_world(
+                self, main, timeout=timeout, grace=grace, workers=run_workers
+            )
         results: list[Any] = [None] * self.nranks
         threads = []
 
@@ -528,9 +618,13 @@ class World:
 
         The abort flag is raised *before* the mailbox conditions are
         notified, and waiters re-check the flag while holding their
-        condition lock — so no blocked rank can miss the wakeup.
+        condition lock — so no blocked rank can miss the wakeup.  On the
+        overdecomposed backend the scheduler gate is opened first, so
+        ranks queued for a worker slot run free to observe the flag.
         """
         self.abort.set()
+        if self.scheduler is not None:
+            self.scheduler.release_all()
         self.collectives.barrier.abort()
         for mb in self.mailboxes:
             mb.wake_all()

@@ -134,8 +134,10 @@ class TestSuppression:
         assert main(["src", "--write-baseline", "base.json"]) == 0
         doc = json.loads((tree / "base.json").read_text())
         assert len(doc["suppressions"]) == 1
-        # ... but the TODO justification is rejected until filled in
+        assert doc["suppressions"][0]["justified"] is False
+        # ... but the entry is rejected until justified by hand
         doc["suppressions"][0]["justification"] = "seeded fixture, known dirty"
+        doc["suppressions"][0]["justified"] = True
         (tree / "base.json").write_text(json.dumps(doc))
         capsys.readouterr()
         assert main(["src", "--baseline", "base.json"]) == 0
@@ -143,10 +145,40 @@ class TestSuppression:
         # --no-baseline brings the finding back
         assert main(["src", "--baseline", "base.json", "--no-baseline"]) == 1
 
+    def test_fresh_baseline_cannot_silently_pass(self, tree, capsys):
+        # A generated baseline suppresses the finding but still fails the
+        # scan until every entry is justified by hand.
+        assert main(["src", "--write-baseline", "base.json"]) == 0
+        capsys.readouterr()
+        assert main(["src", "--baseline", "base.json"]) == 1
+        out = capsys.readouterr().out
+        assert "unjustified baseline" in out
+        # Fixing the text without flipping the flag is still unjustified
+        doc = json.loads((tree / "base.json").read_text())
+        doc["suppressions"][0]["justification"] = "real reason"
+        (tree / "base.json").write_text(json.dumps(doc))
+        assert main(["src", "--baseline", "base.json"]) == 1
+        # ... and keeping the TODO text with the flag flipped is too
+        doc["suppressions"][0]["justification"] = (
+            "TODO: justify this suppression"
+        )
+        doc["suppressions"][0]["justified"] = True
+        (tree / "base.json").write_text(json.dumps(doc))
+        assert main(["src", "--baseline", "base.json"]) == 1
+
+    def test_unjustified_entries_in_json_report(self, tree, capsys):
+        assert main(["src", "--write-baseline", "base.json"]) == 0
+        capsys.readouterr()
+        assert main(["src", "--baseline", "base.json", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["unjustified_baseline"]) == 1
+        assert doc["findings"] == []
+
     def test_default_baseline_discovered_in_cwd(self, tree, capsys):
         assert main(["src", "--write-baseline", "analyze-baseline.json"]) == 0
         doc = json.loads((tree / "analyze-baseline.json").read_text())
         doc["suppressions"][0]["justification"] = "fixture"
+        doc["suppressions"][0]["justified"] = True
         (tree / "analyze-baseline.json").write_text(json.dumps(doc))
         assert main(["src"]) == 0
 
@@ -191,6 +223,22 @@ class TestBaselineUnit:
         )
         kept, baselined, _ = apply_baseline([f2], load_baseline(path))
         assert kept == [] and baselined == [f2]
+
+    def test_entry_is_justified(self):
+        from repro.analyze.baseline import entry_is_justified
+
+        base = {
+            "rule": "REP004",
+            "path": "src/x.py",
+            "snippet": "assert x",
+            "justification": "real reason",
+        }
+        assert entry_is_justified(base)  # historical entry, no flag
+        assert entry_is_justified({**base, "justified": True})
+        assert not entry_is_justified({**base, "justified": False})
+        assert not entry_is_justified(
+            {**base, "justification": "TODO: justify this suppression"}
+        )
 
     def test_missing_fields_rejected(self, tmp_path):
         path = tmp_path / "b.json"

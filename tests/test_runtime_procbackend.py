@@ -136,6 +136,64 @@ class TestTransportParity:
 
 
 # ----------------------------------------------------------------------
+# Rank-group mode: R ranks hosted on P < R children
+# ----------------------------------------------------------------------
+class TestRankGroups:
+    def test_contiguous_split(self):
+        from repro.runtime.procbackend import _rank_groups
+
+        assert _rank_groups(8, 2) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        assert _rank_groups(5, 2) == [[0, 1, 2], [3, 4]]
+        assert _rank_groups(3, 8) == [[0], [1], [2]]
+        assert sum(_rank_groups(17, 4), []) == list(range(17))
+
+    def test_grouped_matches_per_rank_results(self):
+        reference = World(8, backend="thread").run(_ring_main, timeout=60.0)
+        for workers in (1, 2, 3):
+            grouped = World(8, backend="process").run(
+                _ring_main, timeout=120.0, workers=workers
+            )
+            assert grouped == reference
+
+    def test_grouped_ranks_share_child_processes(self):
+        pids = World(8, backend="process", workers=2).run(
+            lambda comm: os.getpid(), timeout=120.0
+        )
+        assert len(set(pids)) == 2
+        # Contiguous groups: first half on one child, second on the other
+        assert len(set(pids[:4])) == 1 and len(set(pids[4:])) == 1
+        assert os.getpid() not in pids
+
+    def test_grouped_traffic_accounting_matches_thread(self):
+        worlds = {}
+        for backend, workers in (("thread", None), ("process", 2)):
+            world = World(4, backend=backend, workers=workers)
+            world.run(_ring_main, timeout=120.0)
+            worlds[backend] = world
+        t = worlds["thread"].stats.snapshot()
+        p = worlds["process"].stats.snapshot()
+        for key in ("total_sent_bytes", "total_messages", "total_collectives"):
+            assert t[key] == p[key]
+
+    def test_grouped_error_propagation(self):
+        def main(comm):
+            if comm.rank == 5:
+                raise ValueError("boom")
+            comm.barrier()
+
+        world = World(8, backend="process", workers=2)
+        with pytest.raises(RuntimeError, match="rank 5 failed"):
+            world.run(main, timeout=120.0)
+
+    def test_workers_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        pids = World(6, backend="process").run(
+            lambda comm: os.getpid(), timeout=120.0
+        )
+        assert len(set(pids)) == 2
+
+
+# ----------------------------------------------------------------------
 # Failure semantics
 # ----------------------------------------------------------------------
 class TestFailureParity:

@@ -1,0 +1,386 @@
+"""The overdecomposed backend: R logical ranks on P worker slots.
+
+Contract under test (ISSUE 6): scheduling only reorders *timing* — R
+ranks on P workers must produce physics byte-identical to R ranks on R
+threads for every engine; a crashed rank is migrated (journal replayed
+on a fresh thread) without a world restart; and the paper-scale logical
+decompositions become measured runs feeding the perfmodel calibration.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.kmc.akmc import ParallelAKMC, place_random_vacancies
+from repro.kmc.events import KMCModel, RateParameters
+from repro.lattice.bcc import BCCLattice
+from repro.md.engine import MDConfig
+from repro.md.parallel_damage import ParallelDamageMD
+from repro.potential.fe import make_fe_potential
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.scheduler import RankScheduler, default_workers
+from repro.runtime.simmpi import (
+    WatchdogTimeout,
+    World,
+    resolve_backend,
+    resolve_workers,
+)
+
+SCHEMES = ("traditional", "ondemand", "onesided")
+
+
+# ----------------------------------------------------------------------
+# resolve_backend / resolve_workers precedence
+# ----------------------------------------------------------------------
+class TestResolveBackendEnv:
+    def test_whitespace_env_falls_back_to_thread(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "   ")
+        assert resolve_backend(None) == "thread"
+        assert World(2).backend == "thread"
+
+    def test_empty_env_falls_back_to_thread(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "")
+        assert resolve_backend(None) == "thread"
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sunway")
+        with pytest.raises(ValueError, match="unknown simmpi backend"):
+            resolve_backend(None)
+
+    def test_explicit_beats_unknown_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sunway")
+        assert resolve_backend("overdecomposed") == "overdecomposed"
+
+    def test_overdecomposed_is_known(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "overdecomposed")
+        assert resolve_backend(None) == "overdecomposed"
+
+
+class TestResolveWorkers:
+    def test_default_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) is None
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert World(4).workers == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+        assert World(4, workers=2).workers == 2
+
+    def test_whitespace_env_counts_as_absent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "   ")
+        assert resolve_workers(None) is None
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers("many")
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0)
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(None)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+# ----------------------------------------------------------------------
+# Scheduler mechanics
+# ----------------------------------------------------------------------
+class TestRankScheduler:
+    def test_at_most_p_ranks_compute_concurrently(self):
+        lock = threading.Lock()
+        state = {"cur": 0, "peak": 0}
+
+        def main(comm):
+            for _ in range(3):
+                with lock:
+                    state["cur"] += 1
+                    state["peak"] = max(state["peak"], state["cur"])
+                time.sleep(0.002)
+                with lock:
+                    state["cur"] -= 1
+                comm.barrier()
+            return comm.rank
+
+        world = World(8, backend="overdecomposed")
+        assert world.run(main, workers=2, timeout=60) == list(range(8))
+        assert 1 <= state["peak"] <= 2
+
+    def test_single_worker_cannot_deadlock(self):
+        def main(comm):
+            for tag in range(3):
+                comm.send((comm.rank + 1) % comm.size, tag, comm.rank)
+                _, _, got = comm.recv((comm.rank - 1) % comm.size, tag=tag)
+                comm.barrier()
+            return comm.allreduce(got)
+
+        world = World(16, backend="overdecomposed")
+        results = world.run(main, workers=1, timeout=60)
+        assert len(set(results)) == 1
+
+    def test_counters_and_handoff(self):
+        sched = RankScheduler(1)
+        sched.acquire(0)
+        done = threading.Event()
+
+        def second():
+            sched.acquire(1)
+            done.set()
+            sched.release(1)
+
+        t = threading.Thread(target=second)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()  # rank 1 queued behind the single slot
+        sched.release(0)  # direct hand-off to the queue head
+        t.join(timeout=5)
+        assert done.is_set()
+        assert sched.steals == 1
+        assert sched.peak_queued == 1
+
+    def test_release_all_opens_the_gate(self):
+        sched = RankScheduler(1)
+        sched.acquire(0)
+        sched.release_all()
+        sched.acquire(1)  # returns immediately: draining
+        sched.release(1)
+
+    def test_error_propagation(self):
+        def main(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+
+        world = World(4, backend="overdecomposed")
+        with pytest.raises(RuntimeError, match="rank 2 failed"):
+            world.run(main, workers=2, timeout=60)
+
+    def test_keyboard_interrupt_precedence(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise KeyboardInterrupt
+            comm.barrier()
+
+        world = World(3, backend="overdecomposed")
+        with pytest.raises(KeyboardInterrupt):
+            world.run(main, workers=2, timeout=60)
+
+    def test_watchdog_fires_through_the_scheduler(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(1, tag=9)  # never sent
+
+        world = World(2, watchdog=0.2, backend="overdecomposed")
+        with pytest.raises(WatchdogTimeout):
+            world.run(main, workers=1, timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: R ranks on P workers == R ranks on R threads
+# ----------------------------------------------------------------------
+def _kmc_problem(nranks=16):
+    # 16 ranks need a (2, 2, 4) grid; sectoring wants >= 4 cells per
+    # subdomain axis, hence the elongated box.
+    lattice = BCCLattice(8, 8, 16)
+    potential = make_fe_potential(n=1000)
+    params = RateParameters()
+    occ0 = place_random_vacancies(
+        KMCModel(lattice, potential, params),
+        16,
+        np.random.default_rng(7),
+    )
+    return lattice, potential, params, occ0
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_kmc_schemes_16_ranks(self, scheme):
+        lattice, potential, params, occ0 = _kmc_problem()
+
+        def run(backend, workers):
+            engine = ParallelAKMC(
+                lattice,
+                potential,
+                params,
+                grid=(2, 2, 4),
+                scheme=scheme,
+                seed=11,
+                backend=backend,
+                workers=workers,
+            )
+            return engine.run(occ0.copy(), max_cycles=2)
+
+        reference = run("thread", None)
+        for workers in (1, 2, 4):
+            result = run("overdecomposed", workers)
+            assert result.occupancy.tobytes() == reference.occupancy.tobytes()
+            assert result.events == reference.events
+            assert result.time == reference.time
+
+    def test_damage_md_16_ranks(self):
+        def run(backend, workers):
+            engine = ParallelDamageMD(
+                BCCLattice(8, 8, 16),
+                config=MDConfig(temperature=300.0, seed=3),
+                grid=(2, 2, 4),
+                backend=backend,
+                workers=workers,
+            )
+            return engine.run(6, pka=(10, np.array([60.0, 35.0, 25.0])))
+
+        reference = run("thread", None)
+        for workers in (1, 2, 4):
+            result = run("overdecomposed", workers)
+            assert result.positions.tobytes() == reference.positions.tobytes()
+            assert (
+                result.velocities.tobytes() == reference.velocities.tobytes()
+            )
+
+
+# ----------------------------------------------------------------------
+# Rank migration: crash -> journal replay, no world restart
+# ----------------------------------------------------------------------
+class TestMigration:
+    def test_crashed_rank_migrates_bit_identically(self):
+        lattice = BCCLattice(8, 8, 8)
+        potential = make_fe_potential(n=1000)
+        params = RateParameters()
+        occ0 = place_random_vacancies(
+            KMCModel(lattice, potential, params),
+            12,
+            np.random.default_rng(5),
+        )
+
+        def run(**kwargs):
+            engine = ParallelAKMC(
+                lattice,
+                potential,
+                params,
+                grid=(2, 2, 2),
+                scheme="onesided",
+                seed=9,
+                **kwargs,
+            )
+            return engine.run(occ0.copy(), max_cycles=3)
+
+        reference = run(backend="thread")
+        injector = FaultInjector(FaultPlan.parse("crash:rank=3,cycle=1"))
+        migrated = run(
+            backend="overdecomposed", workers=2, faults=injector
+        )
+        # The crash fired ...
+        assert injector.counters.crashes == 1
+        # ... the rank was replayed in place, not the world restarted ...
+        assert migrated.comm_stats["migrations"] == 1
+        # ... and the trajectory is byte-identical to fault-free.
+        assert migrated.occupancy.tobytes() == reference.occupancy.tobytes()
+        assert migrated.events == reference.events
+
+    def test_fault_free_overdecomposed_reports_zero_migrations(self):
+        lattice = BCCLattice(8, 8, 8)
+        potential = make_fe_potential(n=1000)
+        params = RateParameters()
+        occ0 = place_random_vacancies(
+            KMCModel(lattice, potential, params),
+            8,
+            np.random.default_rng(5),
+        )
+        engine = ParallelAKMC(
+            lattice,
+            potential,
+            params,
+            grid=(2, 2, 2),
+            seed=9,
+            backend="overdecomposed",
+            workers=2,
+        )
+        result = engine.run(occ0.copy(), max_cycles=2)
+        assert result.comm_stats["migrations"] == 0
+
+    def test_synthetic_migration_with_all_primitives(self):
+        def main(comm):
+            r, n = comm.rank, comm.size
+            acc = np.zeros(3)
+            total = 0.0
+            for cycle in range(4):
+                comm.fault_point("kmc.cycle", cycle)
+                comm.send((r + 1) % n, cycle, np.arange(3) * 1.0 + r + cycle)
+                _, _, got = comm.recv((r - 1) % n, tag=cycle)
+                acc += got
+                total = comm.allreduce(float(acc.sum()))
+                win = comm.win_create()
+                win.put((r + 3) % n, acc.copy())
+                for _src, payload in win.fence():
+                    acc += 0.01 * payload
+                comm.barrier()
+            return (r, acc.tolist(), total)
+
+        reference = World(8).run(main, timeout=60)
+        injector = FaultInjector(FaultPlan.parse("crash:rank=3,cycle=2"))
+        world = World(
+            8, faults=injector, backend="overdecomposed", workers=2
+        )
+        results = world.run(main, timeout=60)
+        assert world.migrations == 1
+        assert repr(results) == repr(reference)
+
+
+# ----------------------------------------------------------------------
+# Paper-scale decompositions measured on few workers -> calibration
+# ----------------------------------------------------------------------
+class TestMeasuredScaling:
+    def test_fig14_64_ranks_on_4_workers_calibrates(self):
+        from repro.experiments.fig14_kmc_strong_scaling import run_measured
+        from repro.perfmodel.calibrate import (
+            calibrate_from_kernels,
+            calibrate_from_measured,
+        )
+
+        measured = run_measured(
+            cells=16,
+            max_cycles=1,
+            vacancies=24,
+            ranks_list=(64,),
+            backend="overdecomposed",
+            workers=4,
+        )
+        (row,) = measured["rows"]
+        assert row["ranks"] == 64 and row["workers"] == 4
+        assert row["events"] > 0 and row["wall_s"] > 0
+        base = calibrate_from_kernels(cells=8, table_points=1000)
+        costs = calibrate_from_measured(kmc_measured=measured, base=base)
+        assert costs.kmc_event_time == pytest.approx(
+            row["wall_s"] / row["events"]
+        )
+        assert costs.md_atom_step_time == base.md_atom_step_time
+
+    def test_fig10_64_ranks_on_4_workers_calibrates(self):
+        from repro.experiments.fig10_md_strong_scaling import run_measured
+        from repro.perfmodel.calibrate import (
+            calibrate_from_kernels,
+            calibrate_from_measured,
+        )
+
+        measured = run_measured(
+            cells=16,
+            nsteps=2,
+            ranks_list=(64,),
+            backend="overdecomposed",
+            workers=4,
+        )
+        (row,) = measured["rows"]
+        assert row["ranks"] == 64 and row["workers"] == 4
+        assert measured["natoms"] > 0 and row["wall_s"] > 0
+        base = calibrate_from_kernels(cells=8, table_points=1000)
+        costs = calibrate_from_measured(md_measured=measured, base=base)
+        assert costs.md_atom_step_time == pytest.approx(
+            row["wall_s"] / (measured["natoms"] * measured["nsteps"])
+        )
+        assert costs.kmc_event_time == base.kmc_event_time
