@@ -2,16 +2,21 @@
 
 The process backend exists to buy genuine multi-core parallelism: on a
 multi-core host the fig10-style damage-MD strong-scaling point at 4
-ranks must beat its own 1-rank time by >= 2x (acceptance criterion),
-while the thread backend — GIL-serialized — stays roughly flat.  Both
-backends must produce bit-identical trajectories everywhere, which is
-asserted unconditionally; the speedup assertion is gated on the host
-actually having >= 4 cores (CI runners qualify, 1-core sandboxes skip).
+ranks must beat its own 1-rank time by >= 2.25x (acceptance criterion,
+raised from 2x when the shared-memory transport landed), while the
+thread backend — GIL-serialized — stays roughly flat.  Both backends
+must produce bit-identical trajectories everywhere, which is asserted
+unconditionally; the speedup assertion is gated on the host actually
+having >= 4 cores (CI runners qualify, 1-core sandboxes skip).
+
+The transport microbenchmark below isolates the reason the gate could
+move: queue-pickle vs shared-memory bytes/s at three payload sizes.
 
 Wall-clock numbers per backend land in the observe gauges, so a
 ``REPRO_BENCH_PHASES`` run exports them in the per-test JSON artifact.
 """
 
+import multiprocessing
 import os
 import time
 
@@ -21,6 +26,7 @@ import pytest
 from conftest import print_rows
 from repro import observe as obs
 from repro.experiments import fig10_md_strong_scaling
+from repro.runtime import shm
 from repro.runtime.procbackend import fork_available
 from repro.runtime.simmpi import World
 
@@ -75,9 +81,10 @@ def test_fig10_backend_strong_scaling(benchmark):
     obs.set_gauge("bench.backend.process.speedup_4ranks", speedup4)
     print(f"process backend 4-rank speedup: {speedup4:.2f}x on {cores} cores")
     if cores >= 4:
-        assert speedup4 >= 2.0, (
+        assert speedup4 >= 2.25, (
             f"process backend managed only {speedup4:.2f}x at 4 ranks "
-            f"on a {cores}-core host (acceptance floor: 2x)"
+            f"on a {cores}-core host (acceptance floor: 2.25x with the "
+            "shared-memory transport)"
         )
     else:
         pytest.skip(
@@ -113,6 +120,87 @@ def test_backend_bit_identity_smoke(benchmark):
     assert np.array_equal(t.velocities, p.velocities)
     assert np.array_equal(t.vacancy_ranks, p.vacancy_ranks)
     assert np.array_equal(t.runaway_ids, p.runaway_ids)
+
+
+#: Transport microbench payloads: (label, bytes, round trips).  1 KiB is
+#: the slot-eligibility threshold, 1 MiB fills one default slot exactly,
+#: 64 MiB exercises the one-shot oversized-segment path.
+_TRANSPORT_SIZES = (
+    ("1KiB", 1 << 10, 200),
+    ("1MiB", 1 << 20, 30),
+    ("64MiB", 64 << 20, 3),
+)
+
+
+def _roundtrip_rate(arr: np.ndarray, iters: int, send) -> float:
+    send(arr)  # warm-up: first-touch pages, feeder-thread spin-up
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        out = send(arr)
+    dt = time.perf_counter() - t0
+    assert out.nbytes == arr.nbytes
+    return arr.nbytes * iters / dt
+
+
+@needs_fork
+def test_transport_microbench(benchmark):
+    """Bytes/s of queue-pickle vs shared-memory slot/one-shot transport.
+
+    Both paths do a full round trip through a fork-context queue — the
+    pickle path ships the array bytes through the queue's pipe, the shm
+    path ships only the slot header and moves bytes via two memcpys.
+    The zero-copy claim is asserted where it matters (bulk payloads);
+    small payloads are reported but unasserted, since the header +
+    memcpy overhead is why sub-1-KiB arrays stay inline by default.
+    """
+    ctx = multiprocessing.get_context("fork")
+    q = ctx.Queue()
+    pool = shm.ShmPool(ctx, nslots=4, slot_bytes=1 << 20, min_bytes=1)
+    rates: dict[tuple[str, str], float] = {}
+
+    def via_pickle(arr):
+        q.put(arr)
+        return q.get(timeout=60.0)
+
+    def via_shm(arr):
+        q.put(pool.encode(arr))
+        return pool.decode(q.get(timeout=60.0))
+
+    def measure():
+        for label, size, iters in _TRANSPORT_SIZES:
+            arr = np.random.default_rng(1).random(size // 8)
+            rates[("pickle", label)] = _roundtrip_rate(arr, iters, via_pickle)
+            rates[("shm", label)] = _roundtrip_rate(arr, iters, via_shm)
+        return rates
+
+    try:
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        pool.destroy()
+    rows = []
+    for label, _size, _iters in _TRANSPORT_SIZES:
+        row = {"payload": label}
+        for transport in ("pickle", "shm"):
+            bps = rates[(transport, label)]
+            row[transport] = f"{bps / 1e6:.0f} MB/s"
+            obs.set_gauge(
+                f"bench.transport.{transport}.{label}.bytes_per_s", bps
+            )
+        row["shm_vs_pickle"] = (
+            f"{rates[('shm', label)] / rates[('pickle', label)]:.2f}x"
+        )
+        rows.append(row)
+    print_rows(
+        "Transport round trip: queue-pickle vs shared memory",
+        rows,
+        ["payload", "pickle", "shm", "shm_vs_pickle"],
+    )
+    assert rates[("shm", "64MiB")] >= rates[("pickle", "64MiB")], (
+        "shared-memory transport should not lose to queue pickling on "
+        "bulk payloads: "
+        f"shm {rates[('shm', '64MiB')] / 1e6:.0f} MB/s vs "
+        f"pickle {rates[('pickle', '64MiB')] / 1e6:.0f} MB/s at 64 MiB"
+    )
 
 
 #: Total elements of synthetic per-round work, split evenly over the

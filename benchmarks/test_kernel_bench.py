@@ -15,9 +15,14 @@ import time
 import numpy as np
 import pytest
 
-from repro import observe as obs
+from repro import kernels, observe as obs
 from repro.lattice.bcc import BCCLattice
 from repro.md.forces import PairTable, eam_evaluate
+
+needs_numba = pytest.mark.skipif(
+    not kernels.numba_available(),
+    reason="compiled kernel path needs numba (REPRO_KERNELS=numba CI leg)",
+)
 
 
 @pytest.fixture(scope="module")
@@ -201,3 +206,66 @@ def test_eam_bincount_vs_add_at(potential_bench, eam_pair_workload):
         f"np.add.at {t_old * 1e3:.2f} ms, speedup {speedup:.1f}x"
     )
     assert np.allclose(scatter_bincount(), scatter_add_at(), rtol=1e-12, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Kernel backend: numpy reference vs compiled loops
+# ----------------------------------------------------------------------
+@needs_numba
+def test_numba_eam_matches_and_speeds_up(
+    potential_bench, eam_pair_workload, monkeypatch
+):
+    """Compiled EAM evaluation: bit-identical forces, reported speedup."""
+    n, table = eam_pair_workload
+    timings = {}
+    results = {}
+    for backend in ("numpy", "numba"):
+        monkeypatch.setenv("REPRO_KERNELS", backend)
+        eam_evaluate(potential_bench, n, table)  # warm-up (JIT compile)
+        t0 = time.perf_counter()
+        for _ in range(5):
+            results[backend] = eam_evaluate(potential_bench, n, table)
+        timings[backend] = (time.perf_counter() - t0) / 5
+    assert np.array_equal(
+        results["numba"].forces, results["numpy"].forces
+    )
+    assert results["numba"].energy == results["numpy"].energy
+    speedup = timings["numpy"] / timings["numba"]
+    obs.set_gauge("bench.kernels.eam_numba_speedup", speedup)
+    print(
+        f"\nEAM over {len(table):,} pairs: numpy "
+        f"{timings['numpy'] * 1e3:.2f} ms, numba "
+        f"{timings['numba'] * 1e3:.2f} ms, speedup {speedup:.2f}x"
+    )
+
+
+@needs_numba
+def test_numba_serial_kmc_beats_numpy_catalog(
+    potential_bench, kmc_1k_system, monkeypatch
+):
+    """The compiled rate kernel must extend the catalog's ~14x win.
+
+    Acceptance: catalog + numba events/sec exceeds catalog + numpy
+    events/sec on the 1,000-vacancy workload — i.e. the serial KMC
+    bench's speedup over the flat rebuild grows past its NumPy figure.
+    """
+    from repro.kmc.akmc import SerialAKMC
+
+    lattice, params, _model, occ0 = kmc_1k_system
+    rates = {}
+    for backend in ("numpy", "numba"):
+        monkeypatch.setenv("REPRO_KERNELS", backend)
+        rates[backend] = _events_per_second(
+            SerialAKMC(lattice, potential_bench, params, occ0, seed=2), 300
+        )
+    speedup = rates["numba"] / rates["numpy"]
+    obs.set_gauge("bench.kmc.serial.numba_events_per_s", rates["numba"])
+    obs.set_gauge("bench.kmc.serial.numba_vs_numpy", speedup)
+    print(
+        f"\nserial KMC @1000 vacancies: numpy {rates['numpy']:,.0f} ev/s, "
+        f"numba {rates['numba']:,.0f} ev/s ({speedup:.2f}x)"
+    )
+    assert rates["numba"] >= rates["numpy"], (
+        f"compiled rate kernel lost to numpy: {rates['numba']:,.0f} vs "
+        f"{rates['numpy']:,.0f} events/s"
+    )

@@ -4,6 +4,7 @@ from repro.analyze.rules import (
     determinism,
     numeric,
     observe_use,
+    perf,
     protocol,
     robustness,
 )

@@ -51,6 +51,19 @@ def _add_observe_flags(parser) -> None:
         default=None,
         help="write a Chrome-trace JSON (chrome://tracing / Perfetto)",
     )
+    parser.add_argument(
+        "--kernels",
+        choices=("numpy", "numba", "auto"),
+        default=None,
+        help=(
+            "compute-kernel backend for the EAM and rate evaluations: "
+            "'numpy' (vectorized reference), 'numba' (compiled loops, "
+            "bit-identical, falls back to numpy with a warning if numba "
+            "is missing), or 'auto' (numba when importable; the "
+            "default); the REPRO_KERNELS environment variable sets the "
+            "default"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -435,7 +448,13 @@ def cmd_figure(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    import os
+
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernels", None):
+        # Every dispatch site resolves REPRO_KERNELS, so the flag just
+        # pins the environment for this process (children inherit it).
+        os.environ["REPRO_KERNELS"] = args.kernels
     if args.command == "info":
         return cmd_info()
     if args.command == "coupled":

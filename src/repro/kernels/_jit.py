@@ -1,0 +1,44 @@
+"""Optional numba JIT shim.
+
+The kernel implementations in :mod:`repro.kernels.impl` are written as
+plain scalar loops so that they are *also* valid pure-Python/NumPy code:
+with numba importable every function is compiled with ``njit``, without
+it the very same functions run interpreted.  Tests therefore exercise
+the exact loop algorithms (and their bit-identity against the NumPy
+reference path) whether or not the container ships numba — only the
+*speed* differs.
+
+Nothing is ever installed here: numba is detected, never required.
+``REPRO_NO_NUMBA=1`` forces the plain-Python path even when numba is
+importable (used by the CI fallback leg and the dispatch tests).
+"""
+
+from __future__ import annotations
+
+import os
+
+HAVE_NUMBA = False
+_numba = None
+
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba as _numba  # type: ignore[no-redef]
+
+        HAVE_NUMBA = True
+    except ImportError:
+        _numba = None
+        HAVE_NUMBA = False
+
+
+def jit(func):
+    """``numba.njit(cache=True)`` when available, identity otherwise.
+
+    ``cache=True`` persists the compiled artifacts next to the module so
+    repeat processes (the per-rank forks of the process backend!) skip
+    recompilation.  ``fastmath`` stays off: the kernels are bit-identity
+    twins of the NumPy reference path, and fastmath would license the
+    reassociation/FMA contraction that breaks it.
+    """
+    if HAVE_NUMBA:  # pragma: no cover - exercised only with numba
+        return _numba.njit(cache=True)(func)
+    return func

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.md.neighbors.lattice_list import LatticeNeighborList
 from repro.md.state import AtomState
 from repro.potential.eam import EAMPotential
@@ -84,6 +85,24 @@ def eam_evaluate(
         active = np.ones(n, dtype=bool)
     if len(pairs) == 0:
         return EAMResult(0.0, np.zeros((n, 3)), np.zeros(n), 0.0, 0.0)
+    if kernels.selected() == "numba":
+        payloads = kernels.eam_payloads(pot.tables)
+        if payloads is not None:
+            # Compiled path: bit-identical to the NumPy expressions below
+            # by construction (same accumulation order, same pairwise
+            # sums); the energy reductions stay NumPy-side in both paths.
+            phi, rho, emb, forces = kernels.eam_fused(
+                payloads, pairs.i, pairs.j, pairs.d, pairs.r, n
+            )
+            pair_energy = float(np.sum(phi))
+            embed_energy = float(np.sum(emb[active]))
+            return EAMResult(
+                energy=pair_energy + embed_energy,
+                forces=forces,
+                rho=rho,
+                pair_energy=pair_energy,
+                embed_energy=embed_energy,
+            )
     # Pass 1: pair energy and density accumulation.  bincount scatters:
     # one contiguous accumulation per endpoint array instead of the
     # element-wise np.add.at loop.

@@ -61,6 +61,7 @@ from collections import deque
 from multiprocessing import connection as _mpconn
 
 from repro import observe as obs
+from repro.runtime import shm as _shm
 from repro.runtime.simmpi import (
     RankComm,
     WatchdogTimeout,
@@ -104,12 +105,15 @@ def _rank_groups(nranks: int, workers: int) -> list[list[int]]:
 class _Endpoints:
     """All shared transport state, created in the parent before forking."""
 
-    def __init__(self, ctx, nranks: int) -> None:
+    def __init__(self, ctx, nranks: int, pool=None) -> None:
         self.nranks = nranks
         self.inboxes = [ctx.Queue() for _ in range(nranks)]
         self.gather_q = ctx.Queue()
         self.bcast_qs = [ctx.Queue() for _ in range(nranks)]
         self.barrier = ctx.Barrier(nranks)
+        #: Optional zero-copy array transport (see repro.runtime.shm):
+        #: queues then carry slot headers instead of pickled array bytes.
+        self.pool = pool
 
 
 def _abort_all(endpoints: _Endpoints) -> None:
@@ -163,6 +167,7 @@ class _ProcessCollectives:
         self.barrier = endpoints.barrier
         self.gather_q = endpoints.gather_q
         self.bcast_qs = endpoints.bcast_qs
+        self.pool = endpoints.pool
         self._seq = 0
         self._early: dict[int, dict[int, object]] = {}
 
@@ -183,22 +188,34 @@ class _ProcessCollectives:
         """All ranks deposit a value; everyone gets the rank-ordered list."""
         seq = self._seq
         self._seq += 1
+        pool = self.pool
         deadline = None if timeout is None else time.monotonic() + timeout
-        self.gather_q.put((_EXCHANGE, seq, rank, value))
+        contribution = value if pool is None else pool.encode(value)
+        self.gather_q.put((_EXCHANGE, seq, rank, contribution))
         if rank == 0:
             slots = self._early.setdefault(seq, {})
             while len(slots) < self.nranks:
                 _kind, s, r, v = _get_checked(
                     self.gather_q, deadline, "collective"
                 )
-                self._early.setdefault(s, {})[r] = v
+                # Decode at arrival (even early arrivals of later
+                # exchanges) so contribution slots recycle immediately.
+                self._early.setdefault(s, {})[r] = (
+                    v if pool is None else pool.decode(v)
+                )
             self._early.pop(seq)
             full = [slots[r] for r in range(self.nranks)]
+            if pool is not None:
+                # One encode pinned for all receivers; every rank's
+                # decode drops one reference, the last frees the slots.
+                full = pool.encode(full, nrefs=self.nranks)
             for q in self.bcast_qs:
                 q.put((_EXCHANGE, seq, full))
         _kind, s, full = _get_checked(
             self.bcast_qs[rank], deadline, "collective"
         )
+        if pool is not None:
+            full = pool.decode(full)
         if s != seq:  # pragma: no cover - protocol invariant
             raise RuntimeError(
                 f"collective sequence mismatch: expected {seq}, got {s}"
@@ -262,15 +279,22 @@ class _WindowHub:
 class _RemoteMailbox:
     """Deposit proxy routing to another rank's inbox queue."""
 
-    __slots__ = ("_inbox",)
+    __slots__ = ("_inbox", "_pool")
 
-    def __init__(self, inbox) -> None:
+    def __init__(self, inbox, pool=None) -> None:
         self._inbox = inbox
+        self._pool = pool
 
     def deposit(self, src, tag, payload, nbytes, msg_id=None) -> bool:
         # The payload was frozen (copied) by the caller, so the pickle
         # performed later by the queue's feeder thread cannot observe
         # sender-side mutations.  Duplicate dedup happens at delivery.
+        # With a pool, bulk arrays move to shared memory here and the
+        # queue pickles only the slot headers; a fault-injected duplicate
+        # deposit encodes again (own slots), and the receiver's
+        # decode-then-dedup order guarantees its slots are released too.
+        if self._pool is not None:
+            payload = self._pool.encode(payload)
         self._inbox.put((_MSG, src, tag, payload, nbytes, msg_id))
         return True
 
@@ -280,8 +304,9 @@ class _MailboxRouter:
 
     def __init__(self, view: "_ProcessWorldView") -> None:
         self._view = view
+        pool = view.endpoints.pool
         self._remotes = [
-            _RemoteMailbox(inbox) for inbox in view.endpoints.inboxes
+            _RemoteMailbox(inbox, pool) for inbox in view.endpoints.inboxes
         ]
 
     def __getitem__(self, dest: int):
@@ -367,6 +392,12 @@ class _ProcessWorldView:
                     win_id, self.rank, payload, nbytes, msg_id, peer.faults
                 )
                 return
+        pool = self.endpoints.pool
+        if pool is not None:
+            # Each deliver_put call (duplicates included) encodes its
+            # own slots; the target decodes before its dedup check, so
+            # dropped duplicates still release theirs.
+            payload = pool.encode(payload)
         self.endpoints.inboxes[target].put(
             (_WIN, win_id, self.rank, payload, nbytes, msg_id)
         )
@@ -390,8 +421,13 @@ class _ProcessWorldView:
 
     def _handle_envelope(self, item) -> None:
         kind = item[0]
+        pool = self.endpoints.pool
         if kind == _MSG:
             _kind, src, tag, payload, nbytes, msg_id = item
+            if pool is not None:
+                # Decode *before* the mailbox's duplicate check: a
+                # dropped duplicate must still release its slots.
+                payload = pool.decode(payload)
             delivered = self.local_mailbox.deposit(
                 src, tag, payload, nbytes, msg_id
             )
@@ -399,6 +435,8 @@ class _ProcessWorldView:
                 self.faults.record_dropped_duplicate()
         elif kind == _WIN:
             _kind, win_id, origin, payload, nbytes, msg_id = item
+            if pool is not None:
+                payload = pool.decode(payload)
             self.hub.deliver(
                 win_id, origin, payload, nbytes, msg_id, self.faults
             )
@@ -635,8 +673,6 @@ def run_process_world(
     of ~R/P ranks as threads with in-process routing inside the group —
     the overdecomposed process topology.
     """
-    from repro.runtime.faults import InjectedFault
-
     if not fork_available():
         raise RuntimeError(
             "the process backend requires the 'fork' start method "
@@ -653,7 +689,28 @@ def run_process_world(
         else [[r] for r in range(nranks)]
     )
     ctx = multiprocessing.get_context("fork")
-    endpoints = _Endpoints(ctx, nranks)
+    pool = _shm.create_pool(ctx, nranks)
+    endpoints = _Endpoints(ctx, nranks, pool)
+    try:
+        return _run_forked(world, main, timeout, grace, groups, ctx, endpoints)
+    finally:
+        # Unconditional teardown: no run — clean, aborted, or timed out —
+        # may leak /dev/shm space past the world's lifetime.
+        if pool is not None:
+            leaked = pool.leaked_slots()
+            if leaked:  # a terminated child died holding slots
+                obs.add("runtime.shm.leaked_slots", leaked)
+            pool.destroy()
+
+
+def _run_forked(
+    world, main, timeout: float, grace: float, groups, ctx,
+    endpoints: _Endpoints,
+) -> list:
+    """Fork/collect/merge core of :func:`run_process_world`."""
+    from repro.runtime.faults import InjectedFault
+
+    nranks = world.nranks
     registry = obs.active()
     obs_trace = registry._trace if registry is not None else None
     faults_base = (
@@ -786,6 +843,7 @@ def run_process_world(
     seen_ids: set = set()
     for rep in reports.values():
         seen_ids |= rep.get("seen_ids") or set()
+    pool = endpoints.pool
     for q in endpoints.inboxes:
         while True:
             try:
@@ -794,6 +852,11 @@ def run_process_world(
                 break
             except (EOFError, OSError, pickle.UnpicklingError):
                 break  # a terminated child left a truncated write
+            if pool is not None and item[0] in (_MSG, _WIN):
+                # Abort-while-slot-held: the receiver is gone, so the
+                # parent drops this envelope's slot references (both
+                # envelope kinds keep the payload at index 3).
+                pool.release_refs(item[3])
             if item[0] != _MSG:
                 continue
             msg_id = item[5]
@@ -804,6 +867,22 @@ def run_process_world(
                     world.faults.record_dropped_duplicate()
                 continue
             pending_msgs += 1
+    if pool is not None:
+        # Collective envelopes can be stranded too (a world aborted
+        # between a gather deposit and rank 0's collection, or between
+        # the broadcast and a receiver's get).
+        for cq, payload_at in [(endpoints.gather_q, 3)] + [
+            (bq, 2) for bq in endpoints.bcast_qs
+        ]:
+            while True:
+                try:
+                    item = cq.get_nowait()
+                except _stdlib_queue.Empty:
+                    break
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    break
+                if item[0] == _EXCHANGE:
+                    pool.release_refs(item[payload_at])
     world._child_pending = pending_msgs
 
     if timed_out:

@@ -1,0 +1,379 @@
+"""Zero-copy shared-memory transport for the process backend.
+
+The process backend's queues pickle every payload through a socket pair:
+for the bulk numpy arrays that dominate real traffic (ghost rows,
+density exchanges, occupancy gathers, checkpoints) that is two full
+copies plus serialization on the critical path.  This module gives
+:mod:`repro.runtime.procbackend` the paper's packed-buffer alternative:
+a per-world pool of ``multiprocessing.shared_memory`` ring slots through
+which array payloads travel as raw bytes, while the existing queues
+carry only tiny pickled *headers* — ``(slot, offset, dtype, shape)`` —
+exactly how the Sunway implementation packs halo payloads into
+pre-registered exchange buffers and sends descriptors.
+
+Mechanics
+---------
+* The parent creates one :class:`ShmPool` before forking; children
+  inherit the mapping, the slot refcount array, and its lock.
+* ``encode`` walks a payload (tuples/lists/dicts of arrays) and moves
+  each eligible array into a free slot, replacing it with a
+  :class:`SlotRef`.  A payload that doesn't fit a slot goes through a
+  one-shot ``SharedMemory`` segment (:class:`SegRef`); if the pool is
+  exhausted or shared memory is unavailable the array simply stays
+  inline — the queue pickles it as before, so the pool can never
+  deadlock a world, only speed it up.
+* ``decode`` copies the bytes back out into a fresh C-contiguous array
+  (the same layout ``_freeze``'s defensive ``copy()`` produces on the
+  thread backend — bit-identity is preserved) and releases the slot
+  immediately; reclamation is deterministic, not GC-driven.
+* Slots are refcounted: a broadcast encoded once with ``nrefs=nranks``
+  is decoded by every rank, and the last decode frees the slot.  The
+  parent's residual sweep calls ``release_refs`` on undelivered
+  envelopes (abort-while-slot-held), and ``destroy`` unlinks the whole
+  segment in a ``finally`` so no run can leak ``/dev/shm`` space.
+
+Tuning knobs (environment):
+
+``REPRO_SHM``
+    ``0``/``off``/``false`` disables the pool (pickle-only transport).
+``REPRO_SHM_SLOTS`` / ``REPRO_SHM_SLOT_BYTES``
+    Ring geometry; defaults scale slots with the world size.
+``REPRO_SHM_MIN_BYTES``
+    Arrays smaller than this stay inline (header + memcpy overhead
+    beats pickle only past ~1 KiB).  Set to 0 to force everything
+    through shared memory (the parity tests do).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import observe as obs
+
+__all__ = [
+    "SlotRef",
+    "SegRef",
+    "ShmPool",
+    "create_pool",
+    "pool_enabled",
+]
+
+_DISABLED = ("0", "off", "false", "no")
+
+
+def pool_enabled() -> bool:
+    """Whether ``REPRO_SHM`` permits the shared-memory transport."""
+    env = os.environ.get("REPRO_SHM", "").strip().lower()
+    return env not in _DISABLED
+
+
+class SlotRef:
+    """Header of an array parked in a pool slot."""
+
+    __slots__ = ("slot", "offset", "shape", "dtype", "nbytes")
+
+    def __init__(self, slot, offset, shape, dtype, nbytes) -> None:
+        self.slot = slot
+        self.offset = offset
+        self.shape = shape
+        self.dtype = dtype
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlotRef(slot={self.slot}, shape={self.shape}, "
+            f"dtype={self.dtype}, nbytes={self.nbytes})"
+        )
+
+
+class SegRef:
+    """Header of an array in a one-shot shared-memory segment."""
+
+    __slots__ = ("name", "shape", "dtype", "nbytes")
+
+    def __init__(self, name, shape, dtype, nbytes) -> None:
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SegRef(name={self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, nbytes={self.nbytes})"
+        )
+
+
+class ShmPool:
+    """Fixed ring of shared-memory slots with refcounted reclamation.
+
+    Created in the parent before forking; every child inherits the
+    mapping, the shared refcount array, and the lock, so ``acquire`` /
+    ``release`` coordinate across the whole world.
+    """
+
+    def __init__(
+        self, ctx, nslots: int, slot_bytes: int, min_bytes: int = 1024
+    ) -> None:
+        if nslots <= 0 or slot_bytes <= 0:
+            raise ValueError(
+                f"pool geometry must be positive, got {nslots} x {slot_bytes}"
+            )
+        self.nslots = int(nslots)
+        self.slot_bytes = int(slot_bytes)
+        self.min_bytes = int(min_bytes)
+        # Resource-tracker note: the parent creates this segment before
+        # forking, so every child inherits the same tracker process and
+        # whichever process calls ``unlink`` (parent teardown, a one-shot
+        # consumer) unregisters it there — no manual bookkeeping needed.
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.nslots * self.slot_bytes
+        )
+        #: Per-slot consumer refcounts; 0 = free.  lock=False because the
+        #: explicit pool lock below guards every access.
+        self._refs = ctx.Array("q", self.nslots, lock=False)
+        self._lock = ctx.Lock()
+        self._destroyed = False
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+    #: The critical sections below are microseconds long, so a lock wait
+    #: this long means the holder was terminated mid-section.  Giving up
+    #: (fall back to pickle / leave the slot pinned) is always safe: the
+    #: parent's ``destroy`` unlinks the whole segment regardless.
+    _LOCK_TIMEOUT = 2.0
+
+    def _locked(self) -> bool:
+        if self._lock.acquire(timeout=self._LOCK_TIMEOUT):
+            return True
+        obs.add("runtime.shm.lock_timeout")  # pragma: no cover - dead holder
+        return False  # pragma: no cover
+
+    def acquire(self, nbytes: int, nrefs: int = 1) -> int | None:
+        """A free slot able to hold ``nbytes``, pinned for ``nrefs``
+        consumers; ``None`` if the payload is oversized or the ring is
+        momentarily full (callers fall back, never block)."""
+        if nbytes > self.slot_bytes:
+            return None
+        if not self._locked():
+            return None  # pragma: no cover - dead holder
+        try:
+            for s in range(self.nslots):
+                if self._refs[s] == 0:
+                    self._refs[s] = nrefs
+                    return s
+        finally:
+            self._lock.release()
+        obs.add("runtime.shm.pool_exhausted")
+        return None
+
+    def release(self, slot: int) -> None:
+        """Drop one consumer reference; the last one frees the slot."""
+        if not self._locked():
+            return  # pragma: no cover - dead holder; destroy() reclaims
+        try:
+            if self._refs[slot] > 0:
+                self._refs[slot] -= 1
+        finally:
+            self._lock.release()
+
+    def free_slots(self) -> int:
+        """Currently free slots (diagnostics and tests)."""
+        if not self._locked():
+            return 0  # pragma: no cover - dead holder
+        try:
+            return sum(1 for s in range(self.nslots) if self._refs[s] == 0)
+        finally:
+            self._lock.release()
+
+    # ------------------------------------------------------------------
+    # Raw array moves
+    # ------------------------------------------------------------------
+    def _write(self, slot: int, arr: np.ndarray) -> None:
+        dest = np.ndarray(
+            arr.shape,
+            arr.dtype,
+            buffer=self._shm.buf,
+            offset=slot * self.slot_bytes,
+        )
+        np.copyto(dest, arr, casting="no")
+        del dest
+
+    def _read(self, ref: SlotRef) -> np.ndarray:
+        src = np.ndarray(
+            ref.shape, ref.dtype, buffer=self._shm.buf, offset=ref.offset
+        )
+        out = src.copy()  # C-order, matching _freeze's defensive copy
+        del src
+        return out
+
+    # ------------------------------------------------------------------
+    # Payload walkers
+    # ------------------------------------------------------------------
+    def _eligible(self, arr: np.ndarray) -> bool:
+        return (
+            not arr.dtype.hasobject
+            and arr.nbytes >= max(1, self.min_bytes)
+        )
+
+    def _encode_array(self, arr: np.ndarray, nrefs: int):
+        nbytes = arr.nbytes
+        slot = self.acquire(nbytes, nrefs)
+        if slot is not None:
+            self._write(slot, arr)
+            obs.add("runtime.shm.slot_msgs")
+            obs.add("runtime.shm.bytes", nbytes)
+            return SlotRef(
+                slot, slot * self.slot_bytes, arr.shape, arr.dtype, nbytes
+            )
+        if nbytes <= self.slot_bytes:
+            # Ring momentarily full: stay inline (queue pickles it) —
+            # cheaper than churning one-shot segments under pressure.
+            return None
+        if nrefs != 1:
+            # Oversized broadcast: one-shot segments have exactly one
+            # unlinking consumer, so multi-consumer overflow stays on
+            # the pickle path rather than invent shared teardown.
+            return None
+        try:
+            seg = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        except OSError:  # pragma: no cover - /dev/shm exhausted
+            return None
+        dest = np.ndarray(arr.shape, arr.dtype, buffer=seg.buf)
+        np.copyto(dest, arr, casting="no")
+        del dest
+        name = seg.name
+        seg.close()
+        obs.add("runtime.shm.oneshot_msgs")
+        obs.add("runtime.shm.bytes", nbytes)
+        return SegRef(name, arr.shape, arr.dtype, nbytes)
+
+    def encode(self, obj, nrefs: int = 1):
+        """Payload with eligible arrays replaced by shm references.
+
+        Containers are rebuilt (the originals are already defensive
+        ``_freeze`` copies); anything ineligible — small arrays, object
+        dtypes, non-array values — passes through untouched and rides
+        the queue's pickle as before.
+        """
+        if isinstance(obj, np.ndarray):
+            if not self._eligible(obj):
+                return obj
+            ref = self._encode_array(obj, nrefs)
+            return obj if ref is None else ref
+        if isinstance(obj, tuple):
+            return tuple(self.encode(x, nrefs) for x in obj)
+        if isinstance(obj, list):
+            return [self.encode(x, nrefs) for x in obj]
+        if isinstance(obj, dict):
+            return {k: self.encode(v, nrefs) for k, v in obj.items()}
+        return obj
+
+    def decode(self, obj):
+        """Payload with shm references materialized as fresh arrays.
+
+        Every reference is released/unlinked as soon as it is copied
+        out — reclamation is deterministic and local to the consumer.
+        """
+        if isinstance(obj, SlotRef):
+            out = self._read(obj)
+            self.release(obj.slot)
+            return out
+        if isinstance(obj, SegRef):
+            seg = shared_memory.SharedMemory(name=obj.name)
+            src = np.ndarray(obj.shape, obj.dtype, buffer=seg.buf)
+            out = src.copy()
+            del src
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+            return out
+        if isinstance(obj, tuple):
+            return tuple(self.decode(x) for x in obj)
+        if isinstance(obj, list):
+            return [self.decode(x) for x in obj]
+        if isinstance(obj, dict):
+            return {k: self.decode(v) for k, v in obj.items()}
+        return obj
+
+    def release_refs(self, obj) -> None:
+        """Release references in a payload without copying the data.
+
+        The parent's residual sweep applies this to every undelivered
+        envelope (a receiver aborted while slots were held), so the ring
+        is whole again before the pool reports leak-free teardown.
+        """
+        if isinstance(obj, SlotRef):
+            self.release(obj.slot)
+            return
+        if isinstance(obj, SegRef):
+            try:
+                seg = shared_memory.SharedMemory(name=obj.name)
+            except FileNotFoundError:
+                return
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - race with consumer
+                pass
+            return
+        if isinstance(obj, (tuple, list)):
+            for x in obj:
+                self.release_refs(x)
+        elif isinstance(obj, dict):
+            for v in obj.values():
+                self.release_refs(v)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def leaked_slots(self) -> int:
+        """Slots still pinned (should be 0 after a clean run + sweep)."""
+        return self.nslots - self.free_slots()
+
+    def destroy(self) -> None:
+        """Unmap and unlink the ring segment (parent-side, idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - exported views
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def create_pool(ctx, nranks: int):
+    """A world-sized :class:`ShmPool`, or ``None`` when disabled/unavailable.
+
+    Geometry defaults scale with the world: each rank typically has a
+    handful of in-flight envelopes (halo sends to face neighbours plus
+    one collective contribution), so ``4 * nranks + 8`` slots of 1 MiB
+    absorb the steady state; bursts overflow to one-shot segments and
+    giant arrays (> 1 MiB) always use one-shots.
+    """
+    if not pool_enabled():
+        return None
+    try:
+        nslots = int(os.environ.get("REPRO_SHM_SLOTS") or 4 * nranks + 8)
+        slot_bytes = int(os.environ.get("REPRO_SHM_SLOT_BYTES") or (1 << 20))
+        min_bytes = int(os.environ.get("REPRO_SHM_MIN_BYTES") or 1024)
+    except ValueError:
+        raise ValueError(
+            "REPRO_SHM_SLOTS / REPRO_SHM_SLOT_BYTES / REPRO_SHM_MIN_BYTES "
+            "must be integers"
+        ) from None
+    try:
+        return ShmPool(ctx, nslots, slot_bytes, min_bytes=min_bytes)
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+        obs.add("runtime.shm.unavailable")
+        return None

@@ -27,11 +27,19 @@ def payload_nbytes(obj) -> int:
     """Wire size of a message payload in bytes.
 
     NumPy arrays and raw byte strings are counted exactly (the runtime
-    moves them by reference, mimicking MPI's buffer sends); numpy scalars
-    cost one 8-byte word like their Python counterparts; structured
-    payloads of arrays are summed; anything else is costed at its pickled
-    size.  Pickled sizes are memoized on ``id()`` within one message, so
-    a payload repeating the same object pays for one ``pickle.dumps``.
+    moves them by reference — pickle transport or the shared-memory slot
+    pool alike, mimicking MPI's buffer sends); the array fast path costs
+    ``arr.nbytes`` for *any* numeric array — views, non-contiguous
+    slices, Fortran order, structured dtypes — with no pickle round-trip,
+    matching what actually crosses the shm transport (a C-contiguous
+    copy of the logical elements).  Object-dtype arrays carry arbitrary
+    Python references whose ``nbytes`` is just pointer storage, so they
+    fall through to pickle costing like any other opaque object.  NumPy
+    scalars cost one 8-byte word like their Python counterparts;
+    structured payloads of arrays are summed; anything else is costed at
+    its pickled size.  Pickled sizes are memoized on ``id()`` within one
+    message, so a payload repeating the same object pays for one
+    ``pickle.dumps``.
     """
     return _payload_nbytes(obj, None)
 
@@ -39,7 +47,7 @@ def payload_nbytes(obj) -> int:
 def _payload_nbytes(obj, memo: dict[int, int] | None) -> int:
     if obj is None:
         return 0
-    if isinstance(obj, np.ndarray):
+    if isinstance(obj, np.ndarray) and not obj.dtype.hasobject:
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)

@@ -275,6 +275,72 @@ class TestREP006BarePhase:
         assert scan(good, codes={"REP006"}) == []
 
 
+class TestREP007SlowDataMovement:
+    def test_flags_add_at_in_hot_dirs(self):
+        bad = """\
+        import numpy as np
+
+        def scatter(forces, rows, contrib):
+            np.add.at(forces, rows, contrib)
+        """
+        assert codes_of(scan(bad, codes={"REP007"})) == ["REP007"]
+        assert codes_of(
+            scan(bad, rel="src/repro/md/mod.py", codes={"REP007"})
+        ) == ["REP007"]
+
+    def test_flags_pickle_dumps_in_transport(self):
+        bad = """\
+        import pickle
+
+        def ship(q, payload):
+            q.put(pickle.dumps(payload))
+        """
+        found = scan(
+            bad, rel="src/repro/runtime/procbackend.py", codes={"REP007"}
+        )
+        assert codes_of(found) == ["REP007"]
+        assert "shared-memory" in found[0].message
+
+    def test_aliased_imports_resolve(self):
+        bad = """\
+        import numpy as xp
+        from pickle import dumps as freeze
+
+        def f(forces, rows, w):
+            xp.add.at(forces, rows, w)
+            return freeze(rows)
+        """
+        assert codes_of(scan(bad, codes={"REP007"})) == ["REP007", "REP007"]
+
+    def test_cold_paths_are_exempt(self):
+        src = """\
+        import numpy as np
+        import pickle
+
+        def f(forces, rows, w):
+            np.add.at(forces, rows, w)
+            return pickle.dumps(rows)
+        """
+        for rel in (
+            "src/repro/runtime/simmpi.py",
+            "src/repro/observe/registry.py",
+            "src/repro/core/coupling.py",
+        ):
+            assert scan(src, rel=rel, codes={"REP007"}) == []
+
+    def test_bincount_and_loads_are_fine(self):
+        good = """\
+        import pickle
+
+        import numpy as np
+
+        def f(rows, w, n, blob):
+            acc = np.bincount(rows, weights=w, minlength=n)
+            return acc, pickle.loads(blob)
+        """
+        assert scan(good, codes={"REP007"}) == []
+
+
 class TestRegistry:
     def test_six_domain_rules_registered(self):
         codes = set(all_rules())
@@ -285,6 +351,7 @@ class TestRegistry:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         } <= codes
 
     def test_every_rule_is_documented(self):

@@ -80,6 +80,37 @@ class TestPayloadNbytes:
         after = payload_nbytes([obj])
         assert after > before  # a new message re-measures the object
 
+    def test_views_and_noncontiguous_cost_logical_nbytes(self, monkeypatch):
+        """The array fast path covers every numeric layout, pickle-free.
+
+        What crosses the shm transport is a C-contiguous copy of the
+        logical elements, so a strided view costs its own nbytes — not
+        the base buffer's, and never a pickle round-trip.
+        """
+        import pickle as _pickle
+
+        def forbidden(*a, **k):  # arrays must never reach pickle costing
+            raise AssertionError("pickle.dumps called for an array payload")
+
+        monkeypatch.setattr(
+            "repro.runtime.stats.pickle.dumps", forbidden
+        )
+        base = np.arange(120, dtype=np.float64).reshape(10, 12)
+        assert payload_nbytes(base[::2, ::3]) == 5 * 4 * 8
+        assert payload_nbytes(base.T) == base.nbytes
+        assert payload_nbytes(np.asfortranarray(base)) == base.nbytes
+        assert payload_nbytes(base[3]) == 12 * 8  # view of a row
+        structured = np.zeros(4, dtype=[("a", np.int64), ("b", np.float32)])
+        assert payload_nbytes(structured) == structured.nbytes
+        del _pickle
+
+    def test_object_dtype_arrays_cost_pickled_size(self):
+        """Object arrays hold pointers; nbytes would undercount wildly."""
+        arr = np.array([b"x" * 1000, b"y" * 1000], dtype=object)
+        cost = payload_nbytes(arr)
+        assert cost > 2000  # the referents, not 2 x 8 pointer bytes
+        assert cost != arr.nbytes
+
 
 class TestTrafficStats:
     def test_record_send_accumulates(self):
