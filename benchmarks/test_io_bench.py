@@ -1,0 +1,124 @@
+"""Benchmark: streaming trajectory-store I/O.
+
+The paper's production run writes its damage trajectory from 19.2 days
+of simulated time without pausing the simulation; the chunked store
+(:mod:`repro.io.store`) is our stand-in for that output stage.  These
+benchmarks time the three access patterns that matter: streaming
+append (the simulation's hot path), sequential out-of-core read (the
+analysis sweep), and random access by time (figure rendering).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.io.store import TrajectoryReader, TrajectoryWriter
+from repro.lattice.bcc import BCCLattice
+
+CELLS = 12
+NFRAMES = 64
+NVACANCIES = 48
+HOPS_PER_FRAME = 4
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return BCCLattice(CELLS, CELLS, CELLS)
+
+
+@pytest.fixture(scope="module")
+def frames(lattice):
+    """A synthetic hop trajectory: few sites change per frame."""
+    rng = np.random.default_rng(7)
+    occ = np.ones(lattice.nsites, dtype=np.int8)
+    vac = rng.choice(lattice.nsites, NVACANCIES, replace=False)
+    occ[vac] = 0
+    times = [0.0]
+    series = [occ.copy()]
+    t = 0.0
+    for _ in range(1, NFRAMES):
+        for _ in range(HOPS_PER_FRAME):
+            vacs = np.flatnonzero(occ == 0)
+            src = rng.choice(vacs)
+            atoms = np.flatnonzero(occ == 1)
+            dst = rng.choice(atoms)
+            occ[src], occ[dst] = occ[dst], occ[src]
+        t += float(rng.exponential(0.01))
+        times.append(t)
+        series.append(occ.copy())
+    return times, series
+
+
+def _write_store(path, lattice, times, series):
+    writer = TrajectoryWriter(path, lattice, mode="w")
+    for t, occ in zip(times, series, strict=True):
+        writer.append(t, occ)
+    writer.close(final=True)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, lattice, frames):
+    path = tmp_path_factory.mktemp("io_bench") / "traj"
+    _write_store(path, lattice, *frames)
+    return path
+
+
+def test_store_write(benchmark, tmp_path, lattice, frames):
+    """Streaming append throughput (fresh store per round)."""
+    times, series = frames
+    path = tmp_path / "traj"
+    benchmark(_write_store, path, lattice, times, series)
+    raw = NFRAMES * lattice.nsites
+    disk = sum(p.stat().st_size for p in path.glob("shard-*.bin"))
+    print_rows(
+        "Trajectory store write",
+        [
+            {
+                "frames": NFRAMES,
+                "sites": lattice.nsites,
+                "raw_bytes": raw,
+                "disk_bytes": disk,
+                "ratio": raw / disk,
+            }
+        ],
+        ["frames", "sites", "raw_bytes", "disk_bytes", "ratio"],
+    )
+    # Delta + zlib must beat the raw frame stack by a wide margin.
+    assert disk < raw / 4
+
+
+def test_store_read(benchmark, store, frames):
+    """Sequential out-of-core sweep over every frame."""
+    times, series = frames
+
+    def sweep():
+        reader = TrajectoryReader(store)
+        total = 0
+        for _, occ in reader.iter_frames():
+            total += int((occ == 0).sum())
+        return total
+
+    total = benchmark(sweep)
+    assert total == sum(int((occ == 0).sum()) for occ in series)
+    # Round trip is bit-exact.
+    reader = TrajectoryReader(store)
+    assert np.array_equal(reader.frame(-1), series[-1])
+    assert reader.time_of(-1) == times[-1]
+
+
+def test_store_random_access(benchmark, store, frames):
+    """Random access by timestamp (chunk-cache hits and misses)."""
+    times, series = frames
+    rng = np.random.default_rng(11)
+    picks = rng.uniform(0.0, times[-1], size=16)
+
+    def access():
+        reader = TrajectoryReader(store)
+        return sum(int(reader.frame_at_time(t)[0]) for t in picks)
+
+    benchmark(access)
+    reader = TrajectoryReader(store)
+    for t in picks:
+        i = reader.frame_index_at(float(t))
+        assert times[i] <= t
+        assert np.array_equal(reader.frame_at_time(float(t)), series[i])

@@ -136,6 +136,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     coupled.add_argument(
+        "--trajectory",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record the KMC occupancy trajectory into a chunked on-disk "
+            "store at PATH (a directory); frames stream to disk as the "
+            "run progresses, so memory stays bounded, and the store "
+            "survives crash/recovery cycles (see repro.io.store)"
+        ),
+    )
+    coupled.add_argument(
+        "--trajectory-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "record a trajectory frame every N events (serial) or "
+            "N cycles (parallel); requires --trajectory (default: 1)"
+        ),
+    )
+    coupled.add_argument(
         "--watchdog",
         type=float,
         default=None,
@@ -283,6 +304,11 @@ def cmd_coupled(args) -> int:
             print(f"error: bad --faults plan: {exc}", file=sys.stderr)
             return 2
         print(f"fault plan: {plan.describe()}")
+    if args.trajectory is None and args.trajectory_every != 1:
+        print(
+            "error: --trajectory-every requires --trajectory", file=sys.stderr
+        )
+        return 2
     profiling = _profiling_requested(args)
     cells = args.cells
     if cells < MIN_CELLS:
@@ -323,6 +349,8 @@ def cmd_coupled(args) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             watchdog=args.watchdog,
+            trajectory=args.trajectory,
+            trajectory_every=args.trajectory_every,
         )
     )
     print(f"coupled MD-KMC over {sim.lattice.nsites} sites ...")
@@ -352,6 +380,11 @@ def cmd_coupled(args) -> int:
         print(f"recoveries: {result.recoveries}")
     if result.migrations:
         print(f"migrations: {result.migrations}")
+    if result.trajectory_path is not None:
+        print(
+            f"trajectory: {result.trajectory_frames} frames "
+            f"-> {result.trajectory_path}"
+        )
     _finish_observation(args, registry)
     return 0
 

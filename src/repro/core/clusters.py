@@ -112,3 +112,25 @@ def clustering_report(
         clustered_fraction=clustered / n if n else 0.0,
         mean_nn_distance=mean_nn_distance(lattice, vacancy_ranks),
     )
+
+
+def clustering_report_from_store(
+    store,
+    frame: int = -1,
+    bond_distance: float | None = None,
+) -> ClusteringReport:
+    """Clustering summary of one frame of an on-disk trajectory store.
+
+    ``store`` is a :class:`repro.io.store.TrajectoryReader` or a path to
+    a store directory.  Only the requested frame's chunk is decoded —
+    analysis stays out-of-core no matter how long the trajectory is.
+    ``frame`` indexes like a sequence (negative counts from the end).
+    """
+    from repro.io.store import TrajectoryReader
+
+    reader = store if isinstance(store, TrajectoryReader) else TrajectoryReader(store)
+    if frame < 0:
+        frame += len(reader)
+    return clustering_report(
+        reader.lattice, reader.vacancy_ranks(frame), bond_distance
+    )

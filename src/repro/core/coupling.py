@@ -107,6 +107,18 @@ class CoupledConfig:
         Per-wait deadline (seconds) for the parallel KMC runtime's
         blocking recv/probe/collectives; ``None`` (default) keeps the
         hot paths deadline-free.
+    trajectory:
+        Path of a streaming chunked trajectory store
+        (:mod:`repro.io.store`).  When set, the run appends occupancy
+        frames incrementally — the post-MD damage state first, then the
+        KMC evolution at every ``trajectory_every`` fence — so the
+        scientific output lands on disk as the run progresses instead
+        of accumulating in memory.  The store participates in recovery:
+        after a fault it is rewound to the restored checkpoint's clock
+        and the resumed attempt re-records bit-identically.
+    trajectory_every:
+        Record a frame every N serial events / parallel cycles
+        (default 1).
     """
 
     cells: int = 8
@@ -128,6 +140,8 @@ class CoupledConfig:
     checkpoint_dir: str | None = None
     max_recoveries: int = 3
     watchdog: float | None = None
+    trajectory: str | None = None
+    trajectory_every: int = 1
 
     def __post_init__(self) -> None:
         if self.cells < 5:
@@ -140,6 +154,8 @@ class CoupledConfig:
             raise ValueError("checkpoint_every must be >= 1")
         if self.max_recoveries < 0:
             raise ValueError("max_recoveries must be >= 0")
+        if self.trajectory_every < 1:
+            raise ValueError("trajectory_every must be >= 1")
 
 
 def recombine_frenkel_pairs(
@@ -196,6 +212,10 @@ class CoupledResult:
     #: Injector counters (crashes/delays/duplicates/stalls), when faults
     #: were planned.
     fault_report: dict | None = None
+    #: Trajectory store path (when ``config.trajectory`` was set) and
+    #: the number of frames it holds after finalize.
+    trajectory_path: str | None = None
+    trajectory_frames: int | None = None
 
 
 class CoupledSimulation:
@@ -303,6 +323,8 @@ class CoupledSimulation:
         params = cfg.rates or RateParameters(temperature=cfg.temperature)
         every = cfg.checkpoint_every if ckpt_path is not None else None
         path = ckpt_path if every is not None else None
+        traj = cfg.trajectory
+        traj_every = cfg.trajectory_every if traj is not None else None
         if cfg.kmc_nranks is None:
             engine = SerialAKMC(
                 self.lattice,
@@ -318,6 +340,8 @@ class CoupledSimulation:
                 max_events=cfg.kmc_max_events,
                 checkpoint_every=every,
                 checkpoint_path=path,
+                trajectory=traj,
+                trajectory_every=traj_every,
             )
         engine = ParallelAKMC(
             self.lattice,
@@ -338,6 +362,8 @@ class CoupledSimulation:
             checkpoint_every=every,
             checkpoint_path=path,
             resume=resume,
+            trajectory=traj,
+            trajectory_every=traj_every,
         )
 
     def _run_kmc_supervised(self, occupancy: np.ndarray, plain: bool = False):
@@ -389,6 +415,19 @@ class CoupledSimulation:
                     resume = load_kmc_checkpoint(ckpt_path)
                 else:
                     resume = None
+                if cfg.trajectory is not None:
+                    # Rewind the store to the restored clock: frames the
+                    # crashed attempt wrote beyond the checkpoint are
+                    # dropped and re-recorded bit-identically by the
+                    # resumed attempt.  With no checkpoint yet, rewind
+                    # to 0.0 keeps only the post-MD initial frame.
+                    from repro.io.store import is_store, rewind_store
+
+                    if is_store(cfg.trajectory):
+                        rewind_store(
+                            cfg.trajectory,
+                            resume.time if resume is not None else 0.0,
+                        )
                 obs.add(
                     "coupling.recover.from_checkpoint"
                     if resume is not None
@@ -427,8 +466,30 @@ class CoupledSimulation:
             with obs.phase("coupled.map_damage"):
                 occ0 = self.occupancy_from_cascade(cascade)
                 vac_md = np.flatnonzero(occ0 == VACANCY)
+            if cfg.trajectory is not None:
+                # Open the store fresh and seed it with the post-MD
+                # damage state at clock 0 — the "before" frame of the
+                # paper's Figure 17.  The KMC stage then appends to it
+                # incrementally (rank 0 via the gather path when
+                # parallel), and recovery rewinds it with the
+                # checkpoints.
+                from repro.io.store import TrajectoryWriter
+
+                with obs.phase("io.trajectory.init"):
+                    writer = TrajectoryWriter(
+                        cfg.trajectory, self.lattice, mode="w"
+                    )
+                    writer.append(0.0, occ0)
+                    writer.close(final=False)
             with obs.phase("coupled.kmc"):
                 kmc, recoveries, fault_report = self._run_kmc_supervised(occ0)
+            trajectory_frames = None
+            if cfg.trajectory is not None:
+                from repro.io.store import TrajectoryReader, finalize_store
+
+                with obs.phase("io.trajectory.finalize"):
+                    finalize_store(cfg.trajectory)
+                    trajectory_frames = len(TrajectoryReader(cfg.trajectory))
             with obs.phase("coupled.analysis"):
                 c_mc = len(vac_md) / self.lattice.nsites
                 # KMC clock runs in ps; the timescale formula takes seconds.
@@ -453,4 +514,6 @@ class CoupledSimulation:
             recoveries=recoveries,
             migrations=(kmc.comm_stats or {}).get("migrations", 0),
             fault_report=fault_report,
+            trajectory_path=cfg.trajectory,
+            trajectory_frames=trajectory_frames,
         )

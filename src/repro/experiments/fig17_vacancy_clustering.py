@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.clusters import clustering_report
+from repro.core.clusters import clustering_report, clustering_report_from_store
 from repro.core.coupling import CoupledConfig, CoupledSimulation
 from repro.core.timescale import kmc_real_time
+from repro.io.store import TrajectoryReader, TrajectoryWriter, finalize_store
 from repro.kmc.akmc import SerialAKMC, place_random_vacancies
 from repro.kmc.events import KMCModel, RateParameters
 from repro.lattice.bcc import BCCLattice
@@ -40,11 +41,25 @@ def run(
     kmc_events: int = DEFAULT_EVENTS,
     seed: int = 42,
     from_cascade: bool = False,
+    store_path=None,
 ) -> dict:
-    """Regenerate the Figure 17 before/after clustering comparison."""
+    """Regenerate the Figure 17 before/after clustering comparison.
+
+    With ``store_path`` the run streams its trajectory into an on-disk
+    chunked store (:mod:`repro.io.store`) and the before/after clustering
+    reports are computed *from the store* — frame 0 (post-MD) and the
+    final frame — instead of from in-memory occupancies.  The numbers
+    are identical either way; the store-fed path just proves the
+    analysis can run out-of-core on arbitrarily long trajectories.
+    """
     if from_cascade:
         sim = CoupledSimulation(
-            CoupledConfig(cells=cells, kmc_max_events=kmc_events, seed=seed)
+            CoupledConfig(
+                cells=cells,
+                kmc_max_events=kmc_events,
+                seed=seed,
+                trajectory=None if store_path is None else str(store_path),
+            )
         )
         res = sim.run()
         before = res.report_after_md
@@ -62,11 +77,23 @@ def run(
         occ0 = place_random_vacancies(model, nvac, np.random.default_rng(seed))
         vac_before = model.sites[np.flatnonzero(occ0 == 0)]
         before = clustering_report(lattice, vac_before)
+        if store_path is not None:
+            # Seed the "before" frame, then let the engine append.
+            writer = TrajectoryWriter(store_path, lattice, mode="w")
+            writer.append(0.0, occ0)
+            writer.close(final=False)
         engine = SerialAKMC(lattice, potential, params, occ0, seed=seed)
-        result = engine.run(max_events=kmc_events)
+        result = engine.run(max_events=kmc_events, trajectory=store_path)
         vac_after = result.vacancy_ranks
         after = clustering_report(lattice, vac_after)
         kmc_time = result.time
+    if store_path is not None:
+        finalize_store(store_path)
+        reader = TrajectoryReader(store_path)
+        before = clustering_report_from_store(reader, 0)
+        after = clustering_report_from_store(reader, -1)
+        vac_before = reader.vacancy_ranks(0)
+        vac_after = reader.vacancy_ranks(len(reader) - 1)
     real_seconds = kmc_real_time(
         t_threshold=kmc_time * 1e-12,
         c_mc=len(vac_before) / lattice.nsites,

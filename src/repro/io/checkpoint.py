@@ -11,20 +11,23 @@ Two checkpoint families live here:
 * :func:`save_kmc_checkpoint` / :func:`load_kmc_checkpoint` — the
   lightweight per-cycle AKMC record the fault-recovery supervisor
   restores from: the global occupancy, the simulated clock, the cycle /
-  event counters, and (for the serial engine) the exact RNG state.  KMC
-  checkpoints are written atomically (temp file + ``os.replace``), so a
-  crash mid-write can never destroy the last good checkpoint.
+  event counters, and (for the serial engine) the exact RNG state.
+
+Both families write through :func:`repro.io.atomic.atomic_write`
+(uniquely named temp file, fsync, ``os.replace``), so a crash or power
+loss mid-write can never destroy — or truncate — the last good
+checkpoint, and concurrent checkpointers sharing a path never corrupt
+each other's temp file.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass
-from pathlib import Path
 
 import numpy as np
 
+from repro.io.atomic import atomic_write
 from repro.io.dump import dump_state, load_state
 from repro.md.engine import MDEngine
 from repro.md.neighbors.lattice_list import RunawayAtom
@@ -38,7 +41,11 @@ class CheckpointError(RuntimeError):
 
 
 def save_checkpoint(path, engine: MDEngine) -> None:
-    """Write the engine's resumable state to ``path`` (.npz)."""
+    """Atomically write the engine's resumable state to ``path`` (.npz).
+
+    Routed through the shared atomic dump path, so an interrupted write
+    never destroys the last good MD checkpoint.
+    """
     runs = engine.nblist.runaways
     extra = {
         "step": np.array(engine._step),
@@ -125,23 +132,22 @@ def save_kmc_checkpoint(
 ) -> None:
     """Atomically write a :class:`KMCCheckpoint` to ``path`` (.npz).
 
-    The snapshot lands in a sibling temp file first and is renamed over
-    ``path`` only once fully written: a rank crash (or fault injection)
-    during checkpointing leaves the previous checkpoint intact.
+    The snapshot lands in a *uniquely named* sibling temp file, is
+    fsynced, and is renamed over ``path`` only once durable: a rank
+    crash (or fault injection, or power loss) during checkpointing
+    leaves the previous checkpoint intact, and two concurrent
+    checkpointers targeting one path cannot corrupt each other.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp.npz")
-    np.savez_compressed(
-        tmp,
-        format=np.array(KMC_FORMAT),
-        occupancy=np.asarray(occupancy, dtype=np.int8),
-        time=np.array(float(time)),
-        cycle=np.array(int(cycle)),
-        events=np.array(int(events)),
-        rng_state=np.array(rng_state if rng_state is not None else ""),
-    )
-    os.replace(tmp, path)
+    with atomic_write(path) as fh:
+        np.savez_compressed(
+            fh,
+            format=np.array(KMC_FORMAT),
+            occupancy=np.asarray(occupancy, dtype=np.int8),
+            time=np.array(float(time)),
+            cycle=np.array(int(cycle)),
+            events=np.array(int(events)),
+            rng_state=np.array(rng_state if rng_state is not None else ""),
+        )
 
 
 def load_kmc_checkpoint(path) -> KMCCheckpoint:

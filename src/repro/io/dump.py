@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.io.atomic import atomic_write
 from repro.md.state import AtomState
 
 #: Format marker stored in every dump.
@@ -16,7 +17,13 @@ FORMAT = "repro-state-v1"
 
 
 def dump_state(path, state: AtomState, extra: dict | None = None) -> None:
-    """Write all state arrays (and optional extra arrays) to ``path``."""
+    """Atomically write all state arrays (and extras) to ``path``.
+
+    The dump goes through :func:`repro.io.atomic.atomic_write` (unique
+    temp file, fsync, rename), so a crash mid-write — including a
+    fault-injected kill while checkpointing — can never destroy a
+    previous dump at the same path.
+    """
     payload = {
         "format": np.array(FORMAT),
         "ids": state.ids,
@@ -31,7 +38,8 @@ def dump_state(path, state: AtomState, extra: dict | None = None) -> None:
         if key in payload:
             raise ValueError(f"extra key {key!r} collides with a state array")
         payload[key] = np.asarray(value)
-    np.savez_compressed(path, **payload)
+    with atomic_write(path) as fh:
+        np.savez_compressed(fh, **payload)
 
 
 def load_state(path) -> tuple[AtomState, dict]:

@@ -4,9 +4,21 @@ A coupled run's scientific output is the evolution of the site array;
 :class:`KMCTrajectory` accumulates (time, occupancy) frames, persists
 them as one compressed ``.npz``, and exports any frame's vacancy cloud as
 extended XYZ for visualization (the raw material of Figure 17's panels).
+
+.. note::
+   The monolithic in-memory ``.npz`` format is superseded by the
+   streaming chunked store in :mod:`repro.io.store`, which writes
+   frames incrementally and reads them out-of-core.
+   :meth:`KMCTrajectory.load` transparently accepts a store directory,
+   so existing analysis code keeps working; new code should use
+   :class:`repro.io.store.TrajectoryReader` directly and
+   :class:`KMCTrajectory` is kept as a compatibility shim for
+   in-memory workflows.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 
@@ -67,7 +79,22 @@ class KMCTrajectory:
 
     @classmethod
     def load(cls, path) -> "KMCTrajectory":
-        """Read a trajectory back (lattice reconstructed from metadata)."""
+        """Read a trajectory back (lattice reconstructed from metadata).
+
+        Accepts either the legacy monolithic ``.npz`` or a chunked store
+        directory written by :class:`repro.io.store.TrajectoryWriter`;
+        a store is materialized frame by frame into memory.  Code that
+        must stay out-of-core should open the store with
+        :class:`repro.io.store.TrajectoryReader` instead.
+        """
+        if Path(path).is_dir():
+            from repro.io.store import TrajectoryReader
+
+            reader = TrajectoryReader(path)
+            traj = cls(reader.lattice)
+            for t, frame in reader.iter_frames():
+                traj.record(t, frame)
+            return traj
         with np.load(path, allow_pickle=False) as data:
             if str(data["format"]) != FORMAT:
                 raise ValueError(f"{path} is not a {FORMAT} file")

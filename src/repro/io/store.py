@@ -1,0 +1,696 @@
+"""Streaming chunked trajectory store: crash-safe, append-only, out-of-core.
+
+A coupled run at paper scale (3.2e10 atoms, 8.6 wall-clock hours) can
+never hold its occupancy trajectory in memory, let alone write it as one
+monolithic ``.npz`` at the end.  This module is the durable-artifact
+substrate ROADMAP's "streaming trajectory store" item calls for:
+
+* **Append-only shards.**  A store is a directory holding one binary
+  shard per writing rank (``shard-00000.bin`` ...).  Frames are grouped
+  into fixed-size *chunks*; each chunk starts with a full **keyframe**
+  (the raw int8 occupancy) followed by **delta** frames (row indices +
+  new codes vs the previous frame), and the whole chunk is compressed
+  (zlib by default, zstd when available, or none).  Deltas make a
+  quiescent lattice nearly free; the periodic keyframe bounds the work
+  of random access.
+* **Index sidecar.**  Each shard carries a JSON sidecar
+  (``shard-00000.json``) mapping chunks to byte ranges, frame numbers
+  and timestamps, plus the lattice metadata and a CRC32 per chunk.  The
+  sidecar is rewritten through :func:`repro.io.atomic.atomic_write`
+  *after* the shard bytes are flushed and fsynced, so after any crash
+  the index describes only complete, durable chunks — trailing torn
+  bytes in the shard are simply unreferenced and are truncated away on
+  the next append.
+* **Atomic finalize.**  :func:`finalize_store` (or
+  ``TrajectoryWriter.close(final=True)``) marks the sidecars final in
+  one atomic replace; readers accept non-final stores, so a crashed
+  run's store reopens cleanly at its last durable fence.
+* **Out-of-core reading.**  :class:`TrajectoryReader` iterates frames
+  or random-accesses them by index or time while holding at most one
+  decoded chunk per shard, and stitches multi-shard (per-rank
+  site-subset) stores back into global frames.
+
+Writes are instrumented as ``io.trajectory.*`` observe phases and
+counters, so trajectory I/O is a measured phase exactly like the
+paper's output stage.
+
+Sharding: a shard may cover the full lattice (``sites=None``, the
+gather-path wiring where rank 0 writes global frames) or an arbitrary
+site subset (``sites=owned``), in which case the reader requires the
+shards to tile the lattice and stitches them per frame.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from bisect import bisect_right
+from pathlib import Path
+
+import numpy as np
+
+from repro import observe as obs
+from repro.io.atomic import atomic_write_bytes
+from repro.lattice.bcc import BCCLattice
+
+#: Format marker stored in every shard index sidecar.
+FORMAT = "repro-trajectory-store-v1"
+
+#: Default frames per chunk (each chunk opens with a keyframe).
+DEFAULT_CHUNK_FRAMES = 16
+
+_KEYFRAME = b"K"
+_DELTA = b"D"
+
+
+class StoreError(RuntimeError):
+    """A trajectory store is malformed, corrupt, or used inconsistently."""
+
+
+# ----------------------------------------------------------------------
+# Compression codecs (zstd is optional; the container may not ship it)
+# ----------------------------------------------------------------------
+def _get_codec(name: str):
+    """Return ``(compress, decompress)`` callables for a codec name."""
+    if name == "zlib":
+        return (lambda b: zlib.compress(b, 6), zlib.decompress)
+    if name == "none":
+        return (lambda b: b, lambda b: b)
+    if name == "zstd":
+        try:
+            import zstandard
+        except ImportError as exc:
+            raise StoreError(
+                "compression='zstd' needs the optional zstandard package; "
+                "use 'zlib' (default) or 'none'"
+            ) from exc
+        cctx = zstandard.ZstdCompressor()
+        dctx = zstandard.ZstdDecompressor()
+        return (cctx.compress, dctx.decompress)
+    raise StoreError(
+        f"unknown compression {name!r}; choose zlib, zstd, or none"
+    )
+
+
+# ----------------------------------------------------------------------
+# Frame record encoding (inside a chunk, before compression)
+# ----------------------------------------------------------------------
+def _encode_keyframe(occ: np.ndarray) -> bytes:
+    return _KEYFRAME + occ.tobytes()
+
+
+def _encode_delta(prev: np.ndarray, occ: np.ndarray) -> bytes:
+    rows = np.flatnonzero(occ != prev)
+    return (
+        _DELTA
+        + struct.pack("<I", len(rows))
+        + rows.astype("<i4").tobytes()
+        + occ[rows].tobytes()
+    )
+
+
+def _decode_frames(blob: bytes, nsites: int, nframes: int) -> list[np.ndarray]:
+    """Decode one decompressed chunk blob into its occupancy frames."""
+    frames: list[np.ndarray] = []
+    pos = 0
+    prev: np.ndarray | None = None
+    for k in range(nframes):
+        kind = blob[pos : pos + 1]
+        pos += 1
+        if kind == _KEYFRAME:
+            occ = np.frombuffer(blob, dtype=np.int8, count=nsites, offset=pos)
+            pos += nsites
+            occ = occ.copy()
+        elif kind == _DELTA:
+            if prev is None:
+                raise StoreError(f"chunk frame {k} is a delta with no keyframe")
+            (n,) = struct.unpack_from("<I", blob, pos)
+            pos += 4
+            rows = np.frombuffer(blob, dtype="<i4", count=n, offset=pos)
+            pos += 4 * n
+            vals = np.frombuffer(blob, dtype=np.int8, count=n, offset=pos)
+            pos += n
+            occ = prev.copy()
+            occ[rows] = vals
+        else:
+            raise StoreError(f"bad frame marker {kind!r} in chunk")
+        frames.append(occ)
+        prev = occ
+    if pos != len(blob):
+        raise StoreError(
+            f"chunk has {len(blob) - pos} trailing bytes after {nframes} frames"
+        )
+    return frames
+
+
+def _shard_name(rank: int) -> str:
+    return f"shard-{rank:05d}"
+
+
+class TrajectoryWriter:
+    """Incremental, crash-safe writer of one shard of a trajectory store.
+
+    Parameters
+    ----------
+    path:
+        Store directory (created if missing).
+    lattice:
+        The :class:`~repro.lattice.bcc.BCCLattice` the frames cover.
+        Required when creating a shard; optional (validated) when
+        reopening one.
+    rank:
+        Shard number.  Single-writer stores use the default 0.
+    sites:
+        Global site ranks this shard covers, or ``None`` for the full
+        lattice.  Per-rank subset shards are stitched by the reader.
+    chunk_frames:
+        Frames per chunk; every chunk opens with a keyframe, so this is
+        also the worst-case delta chain a random access decodes.
+    compression:
+        ``"zlib"`` (default), ``"zstd"`` (if installed), or ``"none"``.
+    mode:
+        ``"a"`` (default) appends to an existing shard — reopening after
+        a crash resumes at the last indexed chunk and truncates any torn
+        tail bytes.  ``"w"`` starts the shard over.
+    sync:
+        Fsync shard bytes before each index update (the durability
+        contract; tests may disable for speed).
+
+    Memory stays bounded by ``chunk_frames`` encoded records plus one
+    previous-frame copy — peak RSS does not grow with frame count.
+    """
+
+    def __init__(
+        self,
+        path,
+        lattice: BCCLattice | None = None,
+        *,
+        rank: int = 0,
+        sites: np.ndarray | None = None,
+        chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+        compression: str = "zlib",
+        mode: str = "a",
+        sync: bool = True,
+    ) -> None:
+        if chunk_frames < 1:
+            raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
+        if mode not in ("a", "w"):
+            raise ValueError(f"mode must be 'a' or 'w', got {mode!r}")
+        self.path = Path(path)
+        if self.path.exists() and not self.path.is_dir():
+            raise StoreError(f"{self.path} exists and is not a store directory")
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.rank = int(rank)
+        self.sync = sync
+        self._bin_path = self.path / (_shard_name(self.rank) + ".bin")
+        self._idx_path = self.path / (_shard_name(self.rank) + ".json")
+        self._sites = (
+            None if sites is None else np.asarray(sites, dtype=np.int64)
+        )
+        self._pending: list[bytes] = []
+        self._pending_times: list[float] = []
+        self._prev: np.ndarray | None = None
+        self._closed = False
+
+        if mode == "a" and self._idx_path.exists():
+            self._resume(lattice)
+        else:
+            if lattice is None:
+                raise ValueError("creating a shard requires a lattice")
+            self._init_fresh(lattice, chunk_frames, compression)
+        self._compress, _ = _get_codec(self.compression)
+
+    # -- construction ---------------------------------------------------
+    def _init_fresh(self, lattice, chunk_frames, compression) -> None:
+        self.lattice = lattice
+        self.chunk_frames = int(chunk_frames)
+        self.compression = compression
+        _get_codec(compression)  # validate (and fail early on zstd)
+        self.nsites = (
+            lattice.nsites if self._sites is None else len(self._sites)
+        )
+        if self._sites is not None and (
+            self._sites.min() < 0 or self._sites.max() >= lattice.nsites
+        ):
+            raise StoreError("shard sites out of lattice range")
+        self._chunks: list[dict] = []
+        self._nframes = 0
+        self._last_time: float | None = None
+        sites_bytes = (
+            b"" if self._sites is None else self._sites.astype("<i8").tobytes()
+        )
+        self._sites_length = len(sites_bytes)
+        # Unbuffered: chunk writes are single large write() calls, and an
+        # abandoned handle (a crashed rank's writer, reclaimed by GC
+        # after the store was rewound by the supervisor) must never
+        # flush stale buffered bytes over the resumed writer's data.
+        self._fh = open(self._bin_path, "wb", buffering=0)
+        if sites_bytes:
+            self._fh.write(sites_bytes)
+        self._data_end = self._sites_length
+        self._write_index()
+
+    def _resume(self, lattice) -> None:
+        meta = _load_shard_index(self._idx_path)
+        dims = meta["dims"]
+        self.lattice = BCCLattice(*(int(d) for d in dims), a=float(meta["a"]))
+        if lattice is not None and (
+            (lattice.nx, lattice.ny, lattice.nz) != tuple(dims)
+            or abs(lattice.a - float(meta["a"])) > 1e-12
+        ):
+            raise StoreError(
+                f"store at {self.path} covers lattice {tuple(dims)}, "
+                f"writer given ({lattice.nx}, {lattice.ny}, {lattice.nz})"
+            )
+        self.chunk_frames = int(meta["chunk_frames"])
+        self.compression = meta["compression"]
+        self.nsites = int(meta["nsites"])
+        self._sites_length = int(meta["sites_length"])
+        if self._sites_length:
+            self._sites = np.fromfile(
+                self._bin_path, dtype="<i8", count=self.nsites
+            ).astype(np.int64)
+        else:
+            self._sites = None
+        self._chunks = list(meta["chunks"])
+        self._nframes = int(meta["nframes"])
+        self._last_time = (
+            float(self._chunks[-1]["times"][-1]) if self._chunks else None
+        )
+        end = self._sites_length
+        if self._chunks:
+            end = int(self._chunks[-1]["offset"]) + int(self._chunks[-1]["length"])
+        # Drop any torn tail a crash left beyond the last indexed chunk.
+        self._fh = open(self._bin_path, "r+b", buffering=0)
+        self._fh.truncate(end)
+        self._fh.seek(end)
+        self._data_end = end
+        # A reopened writer starts a fresh chunk (keyframe), so it never
+        # needs to decode the previous frame to continue the delta chain.
+
+    # -- properties -----------------------------------------------------
+    @property
+    def nframes(self) -> int:
+        """Frames appended so far (committed + buffered)."""
+        return self._nframes + len(self._pending)
+
+    @property
+    def last_time(self) -> float | None:
+        """Timestamp of the newest frame (``None`` when empty)."""
+        if self._pending_times:
+            return self._pending_times[-1]
+        return self._last_time
+
+    # -- writing --------------------------------------------------------
+    def append(self, time: float, occupancy: np.ndarray) -> None:
+        """Buffer one frame; a full chunk is flushed to disk durably.
+
+        ``occupancy`` covers this shard's sites (the full lattice for
+        unsharded stores).  Times must be non-decreasing.
+        """
+        if self._closed:
+            raise StoreError("writer is closed")
+        occ = np.asarray(occupancy, dtype=np.int8)
+        if len(occ) != self.nsites:
+            raise ValueError(
+                f"frame has {len(occ)} sites, shard covers {self.nsites}"
+            )
+        time = float(time)
+        last = self.last_time
+        if last is not None and time < last:
+            raise ValueError(f"time must be non-decreasing: {time} < {last}")
+        if not self._pending:
+            rec = _encode_keyframe(occ)
+        else:
+            rec = _encode_delta(self._prev, occ)
+        self._prev = occ.copy()
+        self._pending.append(rec)
+        self._pending_times.append(time)
+        obs.add("io.trajectory.frames")
+        if len(self._pending) >= self.chunk_frames:
+            self._commit_chunk()
+
+    def _commit_chunk(self) -> None:
+        """Compress the buffered frames, append them, publish the index."""
+        if not self._pending:
+            return
+        with obs.phase("io.trajectory.write_chunk"):
+            blob = b"".join(self._pending)
+            comp = self._compress(blob)
+            self._fh.seek(self._data_end)
+            self._fh.write(comp)
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+            self._chunks.append(
+                {
+                    "offset": self._data_end,
+                    "length": len(comp),
+                    "raw_length": len(blob),
+                    "frame0": self._nframes,
+                    "nframes": len(self._pending),
+                    "times": list(self._pending_times),
+                    "crc": zlib.crc32(comp),
+                }
+            )
+            self._data_end += len(comp)
+            self._nframes += len(self._pending)
+            self._last_time = self._pending_times[-1]
+            self._pending = []
+            self._pending_times = []
+            obs.add("io.trajectory.chunks")
+            obs.add("io.trajectory.bytes_written", len(comp))
+            self._write_index()
+
+    def _write_index(self, final: bool = False) -> None:
+        meta = {
+            "format": FORMAT,
+            "dims": [self.lattice.nx, self.lattice.ny, self.lattice.nz],
+            "a": self.lattice.a,
+            "rank": self.rank,
+            "nsites": self.nsites,
+            "sites_length": self._sites_length,
+            "compression": self.compression,
+            "chunk_frames": self.chunk_frames,
+            "nframes": self._nframes,
+            "final": bool(final),
+            "chunks": self._chunks,
+        }
+        with obs.phase("io.trajectory.write_index"):
+            atomic_write_bytes(
+                self._idx_path,
+                json.dumps(meta).encode("utf-8"),
+                sync=self.sync,
+            )
+
+    def flush(self) -> None:
+        """Force the partial chunk (if any) out to durable storage."""
+        self._commit_chunk()
+
+    def rewind(self, time: float) -> None:
+        """Drop every frame newer than ``time`` (strictly greater).
+
+        The recovery path: after restoring a checkpoint at clock ``t``,
+        frames the crashed attempt wrote beyond ``t`` are discarded so
+        the resumed attempt re-records them bit-identically.  The cut
+        may fall mid-chunk; the kept prefix of that chunk is re-buffered
+        and re-committed on the next flush.
+        """
+        if self._closed:
+            raise StoreError("writer is closed")
+        # Decode the buffered tail first: records are a keyframe + delta
+        # chain, so trimming it requires the actual frames to rebuild
+        # the chain (and ``_prev``) from the kept prefix.
+        kept_frames: list[np.ndarray] = []
+        kept_times: list[float] = []
+        if self._pending:
+            frames = _decode_frames(
+                b"".join(self._pending), self.nsites, len(self._pending)
+            )
+            for t, f in zip(self._pending_times, frames, strict=True):
+                if t > time:
+                    break
+                kept_times.append(t)
+                kept_frames.append(f)
+        keep = len(self._chunks)
+        while keep and self._chunks[keep - 1]["times"][0] > time:
+            keep -= 1
+        if keep < len(self._chunks):
+            # Committed chunks are being dropped, so every pending frame
+            # (recorded after them) is also beyond the cut.
+            kept_frames = []
+            kept_times = []
+        if keep and self._chunks[keep - 1]["times"][-1] > time:
+            # The cut lands inside chunk ``keep - 1``: decode it and
+            # re-buffer the frame prefix at or before the cut.
+            chunk = self._chunks[keep - 1]
+            frames = _read_chunk(
+                self._bin_path, chunk, self.nsites, self.compression
+            )
+            kept_frames = []
+            kept_times = []
+            for t, f in zip(chunk["times"], frames, strict=True):
+                if t > time:
+                    break
+                kept_times.append(float(t))
+                kept_frames.append(f)
+            keep -= 1
+        self._chunks = self._chunks[:keep]
+        self._nframes = (
+            int(self._chunks[-1]["frame0"] + self._chunks[-1]["nframes"])
+            if self._chunks
+            else 0
+        )
+        self._last_time = (
+            float(self._chunks[-1]["times"][-1]) if self._chunks else None
+        )
+        end = self._sites_length
+        if self._chunks:
+            end = int(self._chunks[-1]["offset"]) + int(self._chunks[-1]["length"])
+        self._fh.truncate(end)
+        self._fh.seek(end)
+        self._data_end = end
+        self._pending = []
+        self._pending_times = []
+        for t, f in zip(kept_times, kept_frames, strict=True):
+            rec = (
+                _encode_keyframe(f)
+                if not self._pending
+                else _encode_delta(self._prev, f)
+            )
+            self._prev = f.copy()
+            self._pending.append(rec)
+            self._pending_times.append(t)
+        self._write_index()
+
+    def close(self, final: bool = False) -> None:
+        """Flush and close; ``final=True`` marks the shard finalized."""
+        if self._closed:
+            return
+        self._commit_chunk()
+        self._write_index(final=final)
+        self._fh.close()
+        self._closed = True
+
+    def finalize(self) -> None:
+        """Flush, mark final, close — the atomic end-of-run commit."""
+        self.close(final=True)
+
+    def __enter__(self) -> "TrajectoryWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A clean exit finalizes; an exception leaves the store
+        # resumable (indexed chunks only) without marking it final.
+        if exc_type is None:
+            self.finalize()
+        else:
+            self.close(final=False)
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+def _load_shard_index(idx_path: Path) -> dict:
+    try:
+        meta = json.loads(Path(idx_path).read_text())
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"cannot read shard index {idx_path}: {exc}") from exc
+    if meta.get("format") != FORMAT:
+        raise StoreError(f"{idx_path} is not a {FORMAT} sidecar")
+    return meta
+
+
+def _read_chunk(bin_path, chunk: dict, nsites: int, compression: str):
+    """Read, verify, decompress and decode one chunk from a shard file."""
+    _, decompress = _get_codec(compression)
+    with obs.phase("io.trajectory.read_chunk"):
+        with open(bin_path, "rb") as fh:
+            fh.seek(int(chunk["offset"]))
+            comp = fh.read(int(chunk["length"]))
+        if len(comp) != int(chunk["length"]):
+            raise StoreError(
+                f"{bin_path}: chunk at offset {chunk['offset']} truncated"
+            )
+        if zlib.crc32(comp) != int(chunk["crc"]):
+            raise StoreError(
+                f"{bin_path}: chunk at offset {chunk['offset']} fails CRC"
+            )
+        obs.add("io.trajectory.chunks_read")
+        obs.add("io.trajectory.bytes_read", len(comp))
+        return _decode_frames(
+            decompress(comp), nsites, int(chunk["nframes"])
+        )
+
+
+class _Shard:
+    """One shard's index, site map, and single-chunk decode cache."""
+
+    def __init__(self, store: Path, meta: dict) -> None:
+        self.meta = meta
+        self.rank = int(meta["rank"])
+        self.nsites = int(meta["nsites"])
+        self.compression = meta["compression"]
+        self.bin_path = store / (_shard_name(self.rank) + ".bin")
+        self.chunks = meta["chunks"]
+        self.nframes = int(meta["nframes"])
+        self.times = np.array(
+            [t for c in self.chunks for t in c["times"]], dtype=float
+        )
+        self.frame0s = [int(c["frame0"]) for c in self.chunks]
+        if int(meta["sites_length"]):
+            self.sites = np.fromfile(
+                self.bin_path, dtype="<i8", count=self.nsites
+            ).astype(np.int64)
+        else:
+            self.sites = None
+        self._cache_idx: int | None = None
+        self._cache_frames: list[np.ndarray] | None = None
+
+    def frame(self, i: int) -> np.ndarray:
+        """This shard's occupancy slice for global frame ``i``."""
+        ci = bisect_right(self.frame0s, i) - 1
+        if ci < 0 or i >= self.nframes:
+            raise IndexError(f"frame {i} out of range (shard has {self.nframes})")
+        if ci != self._cache_idx:
+            self._cache_frames = _read_chunk(
+                self.bin_path, self.chunks[ci], self.nsites, self.compression
+            )
+            self._cache_idx = ci
+        return self._cache_frames[i - self.frame0s[ci]]
+
+
+class TrajectoryReader:
+    """Out-of-core reader over a (possibly sharded) trajectory store.
+
+    Holds at most one decoded chunk per shard; frames are materialized
+    on demand, so iterating a 10^6-frame store costs chunk-sized memory,
+    not trajectory-sized.  Subset shards (per-rank ``sites``) are
+    stitched into full-lattice frames; they must tile the lattice.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if not self.path.is_dir():
+            raise StoreError(f"{self.path} is not a trajectory store directory")
+        idx_paths = sorted(self.path.glob("shard-*.json"))
+        if not idx_paths:
+            raise StoreError(f"{self.path} holds no shard index sidecars")
+        self.shards = [
+            _Shard(self.path, _load_shard_index(p)) for p in idx_paths
+        ]
+        ref = self.shards[0].meta
+        for s in self.shards[1:]:
+            if (
+                s.meta["dims"] != ref["dims"]
+                or float(s.meta["a"]) != float(ref["a"])
+            ):
+                raise StoreError("shards disagree on the lattice")
+        self.lattice = BCCLattice(
+            *(int(d) for d in ref["dims"]), a=float(ref["a"])
+        )
+        #: Frames present in every shard (an unclean shutdown may leave
+        #: shards a fence apart; the common prefix is the usable store).
+        self.nframes = min(s.nframes for s in self.shards)
+        self.times = self.shards[0].times[: self.nframes].copy()
+        for s in self.shards[1:]:
+            if not np.array_equal(s.times[: self.nframes], self.times):
+                raise StoreError("shards disagree on frame timestamps")
+        self.final = all(bool(s.meta["final"]) for s in self.shards)
+        covered = np.zeros(self.lattice.nsites, dtype=bool)
+        for s in self.shards:
+            if s.sites is None:
+                covered[:] = True
+            else:
+                covered[s.sites] = True
+        if not covered.all():
+            raise StoreError(
+                "shards do not tile the lattice: "
+                f"{int((~covered).sum())} sites uncovered"
+            )
+
+    def __len__(self) -> int:
+        return self.nframes
+
+    def _resolve(self, frame: int) -> int:
+        idx = range(self.nframes)[frame]
+        return int(idx)
+
+    def frame(self, frame: int) -> np.ndarray:
+        """One stitched global occupancy frame (negative indices OK)."""
+        i = self._resolve(frame)
+        obs.add("io.trajectory.frames_read")
+        if len(self.shards) == 1 and self.shards[0].sites is None:
+            return self.shards[0].frame(i).copy()
+        occ = np.empty(self.lattice.nsites, dtype=np.int8)
+        for s in self.shards:
+            part = s.frame(i)
+            if s.sites is None:
+                occ[:] = part
+            else:
+                occ[s.sites] = part
+        return occ
+
+    def time_of(self, frame: int) -> float:
+        """Timestamp of one frame."""
+        return float(self.times[self._resolve(frame)])
+
+    def frame_index_at(self, time: float) -> int:
+        """Index of the newest frame with timestamp <= ``time``."""
+        if self.nframes == 0 or time < self.times[0]:
+            raise ValueError(f"no frame at or before t={time}")
+        return int(np.searchsorted(self.times, time, side="right") - 1)
+
+    def frame_at_time(self, time: float) -> np.ndarray:
+        """The newest frame at or before ``time`` (random access)."""
+        return self.frame(self.frame_index_at(time))
+
+    def vacancy_ranks(self, frame: int) -> np.ndarray:
+        """Vacancy site ranks of one frame (code 0 = vacancy)."""
+        return np.flatnonzero(self.frame(frame) == 0)
+
+    def iter_frames(self, start: int = 0, stop: int | None = None):
+        """Yield ``(time, occupancy)`` without loading the frame stack."""
+        stop = self.nframes if stop is None else min(stop, self.nframes)
+        for i in range(start, stop):
+            yield float(self.times[i]), self.frame(i)
+
+    def __iter__(self):
+        return self.iter_frames()
+
+
+# ----------------------------------------------------------------------
+# Store-level helpers (the supervisor's and driver's entry points)
+# ----------------------------------------------------------------------
+def is_store(path) -> bool:
+    """True when ``path`` is a trajectory store directory."""
+    p = Path(path)
+    return p.is_dir() and any(p.glob("shard-*.json"))
+
+
+def rewind_store(path, time: float) -> None:
+    """Drop frames newer than ``time`` from every shard (recovery path)."""
+    p = Path(path)
+    for idx_path in sorted(p.glob("shard-*.json")):
+        meta = _load_shard_index(idx_path)
+        writer = TrajectoryWriter(p, rank=int(meta["rank"]))
+        try:
+            writer.rewind(time)
+            writer.flush()
+        finally:
+            writer.close(final=False)
+
+
+def finalize_store(path) -> None:
+    """Atomically mark every shard of a store final (end-of-run commit)."""
+    p = Path(path)
+    saw = False
+    for idx_path in sorted(p.glob("shard-*.json")):
+        saw = True
+        meta = _load_shard_index(idx_path)
+        writer = TrajectoryWriter(p, rank=int(meta["rank"]))
+        writer.finalize()
+    if not saw:
+        raise StoreError(f"{p} holds no shard index sidecars")

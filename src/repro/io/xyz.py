@@ -48,19 +48,42 @@ def write_xyz(
 
 
 def read_xyz(path):
-    """Read the first frame of an XYZ file: ``(symbols, positions)``."""
-    text = Path(path).read_text().splitlines()
+    """Read the first frame of an XYZ file: ``(symbols, positions)``.
+
+    Malformed input (a non-numeric count, a blank or short atom line
+    inside the frame, non-numeric coordinates) raises :class:`ValueError`
+    naming the file and 1-based line number.  Trailing blank lines after
+    the last atom are tolerated.
+    """
+    path = Path(path)
+    text = path.read_text().splitlines()
     if len(text) < 2:
         raise ValueError(f"{path} is not an XYZ file")
-    n = int(text[0])
+    try:
+        n = int(text[0])
+    except ValueError as exc:
+        raise ValueError(
+            f"{path}:1: expected an atom count, got {text[0]!r}"
+        ) from exc
     if len(text) < 2 + n:
         raise ValueError(f"{path} truncated: expected {n} atom lines")
     symbols = []
     positions = np.empty((n, 3))
     for i, line in enumerate(text[2 : 2 + n]):
+        lineno = i + 3
         parts = line.split()
+        if len(parts) < 4:
+            raise ValueError(
+                f"{path}:{lineno}: malformed atom line {line!r} "
+                "(expected 'symbol x y z')"
+            )
         symbols.append(parts[0])
-        positions[i] = [float(p) for p in parts[1:4]]
+        try:
+            positions[i] = [float(p) for p in parts[1:4]]
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: non-numeric coordinate in {line!r}"
+            ) from exc
     return symbols, positions
 
 

@@ -212,6 +212,8 @@ class SerialAKMC:
         t_threshold: float | None = None,
         checkpoint_every: int | None = None,
         checkpoint_path=None,
+        trajectory=None,
+        trajectory_every: int | None = None,
     ) -> KMCResult:
         """Run until either bound is hit (at least one must be given).
 
@@ -220,24 +222,64 @@ class SerialAKMC:
         written atomically every N events; :meth:`restore` continues a
         run from such a snapshot bit-identically to one that was never
         interrupted.
+
+        With ``trajectory`` set — a store path or an open
+        :class:`~repro.io.store.TrajectoryWriter` — the occupancy is
+        appended to the streaming chunked store every
+        ``trajectory_every`` events (default 1) plus once at run end,
+        so frames land on disk incrementally instead of accumulating in
+        memory.  A path is opened in append mode and closed (without
+        finalizing) when the run ends; a writer object's lifecycle stays
+        with the caller.
         """
         if max_events is None and t_threshold is None:
             raise ValueError("provide max_events and/or t_threshold")
         if checkpoint_every is not None and checkpoint_path is None:
             raise ValueError("checkpoint_every requires checkpoint_path")
-        while True:
-            if max_events is not None and self.events >= max_events:
-                break
-            if t_threshold is not None and self.time >= t_threshold:
-                break
-            if self.step() is None:
-                break
-            if (
-                checkpoint_every is not None
-                and self.events % checkpoint_every == 0
-            ):
-                with obs.phase("kmc.checkpoint"):
-                    self.checkpoint(checkpoint_path)
+        if trajectory_every is not None and trajectory is None:
+            raise ValueError("trajectory_every requires trajectory")
+        writer, own_writer = self._open_trajectory(trajectory)
+        every_t = trajectory_every if trajectory_every is not None else 1
+
+        def record_frame():
+            # BKL time increments are strictly positive, so a frame at
+            # a non-advancing clock is a resume/replay re-record of one
+            # already on disk — skipping it keeps appends idempotent.
+            if writer.last_time is None or self.time > writer.last_time:
+                with obs.phase("io.trajectory.append"):
+                    writer.append(self.time, self.occ)
+
+        recorded = None
+        try:
+            while True:
+                if max_events is not None and self.events >= max_events:
+                    break
+                if t_threshold is not None and self.time >= t_threshold:
+                    break
+                if self.step() is None:
+                    break
+                if writer is not None and self.events % every_t == 0:
+                    record_frame()
+                    recorded = self.events
+                if (
+                    checkpoint_every is not None
+                    and self.events % checkpoint_every == 0
+                ):
+                    if writer is not None:
+                        # Durability fence: frames at or before this
+                        # checkpoint must be on disk before it publishes
+                        # (recovery rewinds the store to the checkpoint
+                        # clock and resumes from there).
+                        writer.flush()
+                    with obs.phase("kmc.checkpoint"):
+                        self.checkpoint(checkpoint_path)
+            if writer is not None and recorded != self.events:
+                # The closing frame, whether or not the bound landed on
+                # a fence — the store always ends at the final state.
+                record_frame()
+        finally:
+            if own_writer and writer is not None:
+                writer.close(final=False)
         vac = self.vacancy_rows
         return KMCResult(
             occupancy=self.occ.copy(),
@@ -246,6 +288,16 @@ class SerialAKMC:
             events=self.events,
             vacancy_ranks=self.model.sites[vac],
         )
+
+    def _open_trajectory(self, trajectory):
+        """Resolve a ``trajectory`` argument to ``(writer, owned)``."""
+        if trajectory is None:
+            return None, False
+        if hasattr(trajectory, "append") and hasattr(trajectory, "flush"):
+            return trajectory, False
+        from repro.io.store import TrajectoryWriter
+
+        return TrajectoryWriter(trajectory, self.model.lattice), True
 
     # ------------------------------------------------------------------
     # Checkpoint / restore (the recovery supervisor's primitives)
@@ -490,6 +542,8 @@ class ParallelAKMC:
         checkpoint_every: int | None = None,
         checkpoint_path=None,
         resume=None,
+        trajectory=None,
+        trajectory_every: int | None = None,
     ) -> KMCResult:
         """Run from a *global* occupancy array; returns the global outcome.
 
@@ -507,12 +561,32 @@ class ParallelAKMC:
             and the run re-enters at its cycle/clock/event counters,
             producing a trajectory bit-identical to one that never
             stopped.
+        trajectory / trajectory_every:
+            Path of a streaming chunked trajectory store
+            (:mod:`repro.io.store`); every N completed cycles (default
+            1, plus once at run end) the global occupancy is gathered
+            through the same path the checkpoints use and rank 0
+            appends it incrementally.  Must be a path — the writer is
+            opened inside rank 0's worker, so the wiring works
+            identically on the thread, process, and overdecomposed
+            backends.  Fence positions derive from the absolute cycle
+            number, so a resumed run appends at the same fences as an
+            uninterrupted one.
         """
         occupancy = np.asarray(occupancy, dtype=np.int8)
         if len(occupancy) != self.lattice.nsites:
             raise ValueError("occupancy must cover the full lattice")
         if checkpoint_every is not None and checkpoint_path is None:
             raise ValueError("checkpoint_every requires checkpoint_path")
+        if trajectory_every is not None and trajectory is None:
+            raise ValueError("trajectory_every requires trajectory")
+        if trajectory is not None and hasattr(trajectory, "append"):
+            raise TypeError(
+                "ParallelAKMC takes a trajectory store *path*, not a "
+                "writer: rank 0 opens the writer inside its worker"
+            )
+        traj_path = None if trajectory is None else str(trajectory)
+        traj_every = trajectory_every if trajectory_every is not None else 1
         lattice = self.lattice
         width = self.width
         seed = self.seed
@@ -546,6 +620,35 @@ class ParallelAKMC:
             t = start_time
             cycle = start_cycle
             events = 0
+            traj_writer = None
+            traj_cycle = None
+
+            def record_frame():
+                """Gather the global occupancy; rank 0 appends a frame.
+
+                Uses the same gather path as the checkpoints, so the
+                store holds merged global frames regardless of the rank
+                count.  Appends are skipped when the clock has not
+                advanced past the shard's newest frame, which makes the
+                write idempotent under journal replay (a migrated rank 0
+                re-executes from the top) and under resumed attempts.
+                """
+                nonlocal traj_writer
+                with obs.phase("io.trajectory.gather"):
+                    gathered = comm.allgather((owned, occ[central_rows].copy()))
+                if comm.rank != 0:
+                    return
+                g_occ = np.empty(lattice.nsites, dtype=np.int8)
+                for g_owned, g_vals in gathered:
+                    g_occ[g_owned] = g_vals
+                if traj_writer is None:
+                    from repro.io.store import TrajectoryWriter
+
+                    traj_writer = TrajectoryWriter(traj_path, lattice)
+                if traj_writer.last_time is None or t > traj_writer.last_time:
+                    with obs.phase("io.trajectory.append"):
+                        traj_writer.append(t, g_occ)
+
             while cycle < max_cycles and (t_threshold is None or t < t_threshold):
                 comm.fault_point("kmc.cycle", cycle)
                 with obs.phase("kmc.cycle"):
@@ -585,6 +688,9 @@ class ParallelAKMC:
                         scheme.after_sector(s, np.asarray(dirty, dtype=np.int64))
                     t += dt
                     cycle += 1
+                if traj_path is not None and cycle % traj_every == 0:
+                    record_frame()
+                    traj_cycle = cycle
                 if (
                     checkpoint_every is not None
                     and cycle % checkpoint_every == 0
@@ -601,6 +707,13 @@ class ParallelAKMC:
                         if comm.rank == 0:
                             from repro.io.checkpoint import save_kmc_checkpoint
 
+                            if traj_writer is not None:
+                                # Durability fence: every trajectory
+                                # frame at or before this checkpoint
+                                # must be on disk before the checkpoint
+                                # publishes — recovery rewinds the store
+                                # to the checkpoint clock and resumes.
+                                traj_writer.flush()
                             g_occ = np.empty(lattice.nsites, dtype=np.int8)
                             total = events_base
                             for g_owned, g_vals, g_events in gathered:
@@ -614,6 +727,12 @@ class ParallelAKMC:
                                 events=total,
                             )
                             obs.add("kmc.checkpoints_written")
+            if traj_path is not None and traj_cycle != cycle:
+                # The closing frame: the store always ends at the final
+                # state even when the cycle budget missed a fence.
+                record_frame()
+            if traj_writer is not None:
+                traj_writer.close(final=False)
             scheme.finalize()
             total_events = events_base + comm.allreduce(events)
             return {

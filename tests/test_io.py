@@ -59,6 +59,37 @@ class TestXYZ:
         _symbols, pos = read_xyz(path)
         assert len(pos) == 0
 
+    def test_bad_atom_count_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("not-a-number\ncomment\nFe 0 0 0\n")
+        with pytest.raises(ValueError, match=r"bad\.xyz:1: expected an atom"):
+            read_xyz(path)
+
+    def test_short_atom_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("2\ncomment\nFe 0 0 0\nFe 1 1\n")
+        with pytest.raises(ValueError, match=r"bad\.xyz:4: malformed atom"):
+            read_xyz(path)
+
+    def test_blank_line_inside_frame_rejected(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("2\ncomment\nFe 0 0 0\n\nFe 1 1 1\n")
+        with pytest.raises(ValueError, match=r"bad\.xyz:4: malformed atom"):
+            read_xyz(path)
+
+    def test_non_numeric_coordinate_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("1\ncomment\nFe zero 0 0\n")
+        with pytest.raises(ValueError, match=r"bad\.xyz:3: non-numeric"):
+            read_xyz(path)
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "ok.xyz"
+        path.write_text("1\ncomment\nFe 0.5 1.5 2.5\n\n\n")
+        symbols, pos = read_xyz(path)
+        assert symbols == ["Fe"]
+        assert np.allclose(pos[0], [0.5, 1.5, 2.5])
+
 
 class TestDump:
     def test_state_roundtrip(self, tmp_path, lattice5):
@@ -201,3 +232,120 @@ class TestKMCCheckpoint:
 
         with pytest.raises(CheckpointError):
             restore_rng_state(np.random.default_rng(0), "not json at all")
+
+
+class TestAtomicWrites:
+    """Crash-mid-write and concurrency behavior of the shared write path."""
+
+    def _occ(self, fill, n=64):
+        occ = np.full(n, 1, dtype=np.int8)
+        occ[:fill] = 0
+        return occ
+
+    def test_atomic_write_failure_keeps_original_and_cleans_temp(
+        self, tmp_path
+    ):
+        from repro.io.atomic import atomic_write
+
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"good")
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with atomic_write(path) as fh:
+                fh.write(b"half-written")
+                raise RuntimeError("crash mid-write")
+        assert path.read_bytes() == b"good"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_crash_mid_md_checkpoint_preserves_previous(
+        self, tmp_path, potential, monkeypatch
+    ):
+        from repro.io.checkpoint import load_checkpoint, save_checkpoint
+
+        lattice = BCCLattice(5, 5, 5)
+        engine = MDEngine(
+            lattice, potential, MDConfig(temperature=300.0, seed=1)
+        )
+        engine.initialize()
+        path = tmp_path / "md.npz"
+        save_checkpoint(path, engine)
+        good = path.read_bytes()
+
+        real = np.savez_compressed
+
+        def torn(fh, **kw):
+            fh.write(b"partial checkpoint bytes")
+            raise OSError("disk gone mid-write")
+
+        engine.run(nsteps=2)
+        monkeypatch.setattr(np, "savez_compressed", torn)
+        with pytest.raises(OSError, match="disk gone"):
+            save_checkpoint(path, engine)
+        monkeypatch.setattr(np, "savez_compressed", real)
+        # The previous checkpoint is intact and still loads.
+        assert path.read_bytes() == good
+        fresh = MDEngine(
+            lattice, potential, MDConfig(temperature=300.0, seed=1)
+        )
+        load_checkpoint(path, fresh)
+        assert fresh._step == 0
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_crash_mid_kmc_checkpoint_preserves_previous(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.io.checkpoint import (
+            load_kmc_checkpoint,
+            save_kmc_checkpoint,
+        )
+
+        path = tmp_path / "kmc.npz"
+        save_kmc_checkpoint(path, self._occ(5), time=1.0, cycle=3)
+
+        def torn(fh, **kw):
+            fh.write(b"partial")
+            raise OSError("power loss")
+
+        monkeypatch.setattr(np, "savez_compressed", torn)
+        with pytest.raises(OSError, match="power loss"):
+            save_kmc_checkpoint(path, self._occ(9), time=2.0, cycle=6)
+        monkeypatch.undo()
+        ckpt = load_kmc_checkpoint(path)
+        assert ckpt.cycle == 3
+        np.testing.assert_array_equal(ckpt.occupancy, self._occ(5))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_concurrent_kmc_checkpointers_never_corrupt(self, tmp_path):
+        # Many writers race on one path (a recovery supervisor re-running
+        # next to a straggling first attempt): the survivor must be one
+        # complete snapshot, never a mixture, with no temp debris.
+        import threading
+
+        from repro.io.checkpoint import (
+            load_kmc_checkpoint,
+            save_kmc_checkpoint,
+        )
+
+        path = tmp_path / "shared.npz"
+        errors = []
+
+        def writer(k):
+            try:
+                for _ in range(5):
+                    save_kmc_checkpoint(
+                        path, self._occ(k), time=float(k), cycle=k
+                    )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(k,)) for k in range(1, 5)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        ckpt = load_kmc_checkpoint(path)
+        assert ckpt.cycle in (1, 2, 3, 4)
+        np.testing.assert_array_equal(ckpt.occupancy, self._occ(ckpt.cycle))
+        assert not list(tmp_path.glob("*.tmp"))

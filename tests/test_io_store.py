@@ -1,0 +1,632 @@
+"""Streaming chunked trajectory store (:mod:`repro.io.store`).
+
+Covers the on-disk format round trip, out-of-core random access, crash
+safety (torn tails, CRC corruption, rewind), multi-shard stitching, the
+engine/coupling wiring, and the acceptance criteria of the trajectory
+store issue: the reader reproduces :class:`KMCTrajectory` frames
+bit-exactly and a fault-injected coupled run leaves the same store as a
+fault-free one.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.kmc_trajectory import KMCTrajectory
+from repro.io.store import (
+    StoreError,
+    TrajectoryReader,
+    TrajectoryWriter,
+    finalize_store,
+    is_store,
+    rewind_store,
+)
+from repro.lattice.bcc import BCCLattice
+
+
+@pytest.fixture()
+def lattice4():
+    return BCCLattice(4, 4, 4)
+
+
+def _hop_frames(lattice, n, nvac=6, seed=0):
+    """A synthetic trajectory: a few sites change per frame."""
+    rng = np.random.default_rng(seed)
+    occ = np.ones(lattice.nsites, dtype=np.int8)
+    occ[rng.choice(lattice.nsites, nvac, replace=False)] = 0
+    times, frames = [0.0], [occ.copy()]
+    t = 0.0
+    for _ in range(n - 1):
+        src = rng.choice(np.flatnonzero(occ == 0))
+        dst = rng.choice(np.flatnonzero(occ == 1))
+        occ[src], occ[dst] = occ[dst], occ[src]
+        t += float(rng.exponential(0.1))
+        times.append(t)
+        frames.append(occ.copy())
+    return times, frames
+
+
+def _write(path, lattice, times, frames, **kw):
+    writer = TrajectoryWriter(path, lattice, mode="w", **kw)
+    for t, f in zip(times, frames, strict=True):
+        writer.append(t, f)
+    writer.finalize()
+    return path
+
+
+class TestRoundTrip:
+    def test_bit_exact_roundtrip(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 11)
+        store = _write(tmp_path / "s", lattice4, times, frames, chunk_frames=4)
+        reader = TrajectoryReader(store)
+        assert len(reader) == 11
+        assert reader.final
+        for i, (t, f) in enumerate(zip(times, frames, strict=True)):
+            assert reader.time_of(i) == t
+            np.testing.assert_array_equal(reader.frame(i), f)
+
+    def test_iteration_matches_frames(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 7)
+        store = _write(tmp_path / "s", lattice4, times, frames, chunk_frames=3)
+        seen = list(TrajectoryReader(store))
+        assert [t for t, _ in seen] == times
+        for (_, got), want in zip(seen, frames, strict=True):
+            np.testing.assert_array_equal(got, want)
+
+    def test_empty_vacancy_frames(self, tmp_path, lattice4):
+        # All-atom frames (no vacancies at all) are a legal trajectory.
+        occ = np.ones(lattice4.nsites, dtype=np.int8)
+        store = _write(
+            tmp_path / "s", lattice4, [0.0, 1.0, 2.0], [occ, occ, occ]
+        )
+        reader = TrajectoryReader(store)
+        assert len(reader) == 3
+        for i in range(3):
+            assert len(reader.vacancy_ranks(i)) == 0
+
+    def test_single_frame_store(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 1)
+        store = _write(tmp_path / "s", lattice4, times, frames)
+        reader = TrajectoryReader(store)
+        assert len(reader) == 1
+        np.testing.assert_array_equal(reader.frame(0), frames[0])
+        np.testing.assert_array_equal(reader.frame(-1), frames[0])
+
+    def test_matches_kmc_trajectory_frames(self, tmp_path, lattice4):
+        # Acceptance: the store reproduces KMCTrajectory bit-exactly.
+        times, frames = _hop_frames(lattice4, 9)
+        legacy = KMCTrajectory(lattice4)
+        for t, f in zip(times, frames, strict=True):
+            legacy.record(t, f)
+        store = _write(tmp_path / "s", lattice4, times, frames, chunk_frames=4)
+        reader = TrajectoryReader(store)
+        assert len(reader) == len(legacy)
+        for i in range(len(legacy)):
+            np.testing.assert_array_equal(reader.frame(i), legacy.frames[i])
+            assert reader.time_of(i) == legacy.times[i]
+
+    def test_kmc_trajectory_load_accepts_store_dir(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 6)
+        store = _write(tmp_path / "s", lattice4, times, frames, chunk_frames=2)
+        loaded = KMCTrajectory.load(store)
+        assert loaded.times == times
+        assert loaded.lattice.nsites == lattice4.nsites
+        for got, want in zip(loaded.frames, frames, strict=True):
+            np.testing.assert_array_equal(got, want)
+
+    def test_compression_none_roundtrip(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 5)
+        store = _write(
+            tmp_path / "s", lattice4, times, frames, compression="none"
+        )
+        reader = TrajectoryReader(store)
+        np.testing.assert_array_equal(reader.frame(-1), frames[-1])
+
+    def test_zstd_requires_zstandard(self, tmp_path, lattice4):
+        # zstd is optional: with the package absent the writer fails
+        # early with a clear error instead of half-writing a store.
+        try:
+            import zstandard  # noqa: F401
+        except ImportError:
+            with pytest.raises(StoreError, match="zstandard"):
+                TrajectoryWriter(
+                    tmp_path / "s", lattice4, compression="zstd"
+                )
+        else:
+            times, frames = _hop_frames(lattice4, 3)
+            store = _write(
+                tmp_path / "s", lattice4, times, frames, compression="zstd"
+            )
+            np.testing.assert_array_equal(
+                TrajectoryReader(store).frame(-1), frames[-1]
+            )
+
+
+class TestRandomAccess:
+    def test_frame_at_time(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 10)
+        store = _write(tmp_path / "s", lattice4, times, frames, chunk_frames=3)
+        reader = TrajectoryReader(store)
+        # Exactly at a timestamp -> that frame; between -> the earlier.
+        assert reader.frame_index_at(times[4]) == 4
+        mid = (times[4] + times[5]) / 2
+        assert reader.frame_index_at(mid) == 4
+        np.testing.assert_array_equal(reader.frame_at_time(mid), frames[4])
+        assert reader.frame_index_at(times[-1] + 1e9) == 9
+
+    def test_before_first_frame_rejected(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 3)
+        store = _write(
+            tmp_path / "s", lattice4, [t + 1.0 for t in times], frames
+        )
+        with pytest.raises(ValueError, match="no frame"):
+            TrajectoryReader(store).frame_index_at(0.5)
+
+    def test_out_of_range_rejected(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 3)
+        store = _write(tmp_path / "s", lattice4, times, frames)
+        with pytest.raises(IndexError):
+            TrajectoryReader(store).frame(3)
+
+
+class TestWriterContract:
+    def test_time_must_not_decrease(self, tmp_path, lattice4):
+        writer = TrajectoryWriter(tmp_path / "s", lattice4)
+        occ = np.ones(lattice4.nsites, dtype=np.int8)
+        writer.append(1.0, occ)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            writer.append(0.5, occ)
+
+    def test_wrong_length_rejected(self, tmp_path, lattice4):
+        writer = TrajectoryWriter(tmp_path / "s", lattice4)
+        with pytest.raises(ValueError, match="sites"):
+            writer.append(0.0, np.ones(3, dtype=np.int8))
+
+    def test_closed_writer_rejects_appends(self, tmp_path, lattice4):
+        writer = TrajectoryWriter(tmp_path / "s", lattice4)
+        writer.close()
+        with pytest.raises(StoreError, match="closed"):
+            writer.append(0.0, np.ones(lattice4.nsites, dtype=np.int8))
+
+    def test_memory_stays_bounded(self, tmp_path, lattice4):
+        # The writer may hold at most chunk_frames pending records:
+        # appends beyond that commit to disk instead of accumulating.
+        times, frames = _hop_frames(lattice4, 40)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, mode="w", chunk_frames=4
+        )
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f)
+            assert len(writer._pending) < 4
+        writer.finalize()
+        assert len(TrajectoryReader(tmp_path / "s")) == 40
+
+    def test_context_manager_finalizes_on_clean_exit(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 3)
+        with TrajectoryWriter(tmp_path / "s", lattice4) as writer:
+            for t, f in zip(times, frames, strict=True):
+                writer.append(t, f)
+        assert TrajectoryReader(tmp_path / "s").final
+
+    def test_context_manager_keeps_resumable_on_error(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 3)
+        with pytest.raises(RuntimeError, match="boom"):
+            with TrajectoryWriter(tmp_path / "s", lattice4) as writer:
+                writer.append(times[0], frames[0])
+                raise RuntimeError("boom")
+        reader = TrajectoryReader(tmp_path / "s")
+        assert not reader.final
+        assert len(reader) == 1
+
+
+class TestCrashSafety:
+    def test_reopen_appends_after_clean_close(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 8)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, mode="w", chunk_frames=3
+        )
+        for t, f in zip(times[:5], frames[:5], strict=True):
+            writer.append(t, f)
+        writer.close(final=False)
+        writer = TrajectoryWriter(tmp_path / "s")
+        assert writer.nframes == 5
+        assert writer.last_time == times[4]
+        for t, f in zip(times[5:], frames[5:], strict=True):
+            writer.append(t, f)
+        writer.finalize()
+        reader = TrajectoryReader(tmp_path / "s")
+        assert len(reader) == 8
+        for i, f in enumerate(frames):
+            np.testing.assert_array_equal(reader.frame(i), f)
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path, lattice4):
+        # A crash can leave shard bytes past the last indexed chunk
+        # (the index is only published after a durable chunk write).
+        times, frames = _hop_frames(lattice4, 6)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, mode="w", chunk_frames=3
+        )
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f)
+        writer.close(final=False)
+        bin_path = tmp_path / "s" / "shard-00000.bin"
+        good = bin_path.stat().st_size
+        with open(bin_path, "ab") as fh:
+            fh.write(b"\x13" * 37)  # torn, unindexed garbage
+        reader = TrajectoryReader(tmp_path / "s")
+        assert len(reader) == 6
+        np.testing.assert_array_equal(reader.frame(-1), frames[-1])
+        writer = TrajectoryWriter(tmp_path / "s")
+        assert bin_path.stat().st_size == good  # tail dropped
+        writer.append(times[-1] + 1.0, frames[0])
+        writer.finalize()
+        np.testing.assert_array_equal(
+            TrajectoryReader(tmp_path / "s").frame(-1), frames[0]
+        )
+
+    def test_unflushed_frames_lost_indexed_frames_survive(
+        self, tmp_path, lattice4
+    ):
+        # Simulated crash: the writer dies without close(); only chunks
+        # the index describes are readable.
+        times, frames = _hop_frames(lattice4, 7)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, mode="w", chunk_frames=3
+        )
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f)
+        # 7 appends, chunk_frames=3: chunks [0..2] and [3..5] are
+        # committed, frame 6 is pending in memory only.
+        reader = TrajectoryReader(tmp_path / "s")
+        assert len(reader) == 6
+        np.testing.assert_array_equal(reader.frame(5), frames[5])
+
+    def test_crc_corruption_detected(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 4)
+        store = _write(
+            tmp_path / "s", lattice4, times, frames, chunk_frames=2
+        )
+        idx = json.loads((store / "shard-00000.json").read_text())
+        chunk = idx["chunks"][1]
+        bin_path = store / "shard-00000.bin"
+        raw = bytearray(bin_path.read_bytes())
+        raw[chunk["offset"] + 1] ^= 0xFF
+        bin_path.write_bytes(bytes(raw))
+        reader = TrajectoryReader(store)
+        np.testing.assert_array_equal(reader.frame(0), frames[0])  # chunk 0 OK
+        with pytest.raises(StoreError, match="CRC"):
+            reader.frame(2)
+
+    def test_rewind_drops_newer_frames(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 10)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, mode="w", chunk_frames=4
+        )
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f)
+        # Cut mid-chunk: keep frames 0..6, drop 7..9.
+        writer.rewind(times[6])
+        writer.flush()
+        writer.close(final=False)
+        reader = TrajectoryReader(tmp_path / "s")
+        assert len(reader) == 7
+        for i in range(7):
+            np.testing.assert_array_equal(reader.frame(i), frames[i])
+
+    def test_append_after_rewind_continues_the_chain(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 10)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, mode="w", chunk_frames=4
+        )
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f)
+        writer.rewind(times[5])
+        # Re-record a different tail (what a resumed attempt does).
+        alt = frames[0]
+        writer.append(times[5] + 0.5, alt)
+        writer.finalize()
+        reader = TrajectoryReader(tmp_path / "s")
+        assert len(reader) == 7
+        np.testing.assert_array_equal(reader.frame(5), frames[5])
+        np.testing.assert_array_equal(reader.frame(6), alt)
+
+    def test_rewind_store_helper(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 8)
+        store = _write(
+            tmp_path / "s", lattice4, times, frames, chunk_frames=3
+        )
+        assert is_store(store)
+        rewind_store(store, times[4])
+        assert len(TrajectoryReader(store)) == 5
+        rewind_store(store, 0.0)
+        assert len(TrajectoryReader(store)) == 1  # the t=0 frame survives
+
+    def test_finalize_store_helper(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 3)
+        writer = TrajectoryWriter(tmp_path / "s", lattice4, mode="w")
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f)
+        writer.close(final=False)
+        assert not TrajectoryReader(tmp_path / "s").final
+        finalize_store(tmp_path / "s")
+        assert TrajectoryReader(tmp_path / "s").final
+
+    def test_finalize_store_without_shards_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StoreError, match="no shard"):
+            finalize_store(tmp_path / "empty")
+
+
+class TestSharding:
+    def test_two_shards_stitch_to_global_frames(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 6)
+        n = lattice4.nsites
+        lo = np.arange(n // 2, dtype=np.int64)
+        hi = np.arange(n // 2, n, dtype=np.int64)
+        for rank, sites in ((0, lo), (1, hi)):
+            writer = TrajectoryWriter(
+                tmp_path / "s",
+                lattice4,
+                rank=rank,
+                sites=sites,
+                mode="w",
+                chunk_frames=3,
+            )
+            for t, f in zip(times, frames, strict=True):
+                writer.append(t, f[sites])
+            writer.finalize()
+        reader = TrajectoryReader(tmp_path / "s")
+        assert len(reader.shards) == 2
+        assert len(reader) == 6
+        for i, f in enumerate(frames):
+            np.testing.assert_array_equal(reader.frame(i), f)
+            np.testing.assert_array_equal(
+                reader.vacancy_ranks(i), np.flatnonzero(f == 0)
+            )
+
+    def test_incomplete_tiling_rejected(self, tmp_path, lattice4):
+        times, frames = _hop_frames(lattice4, 2)
+        sites = np.arange(lattice4.nsites // 2, dtype=np.int64)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, sites=sites, mode="w"
+        )
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f[sites])
+        writer.finalize()
+        with pytest.raises(StoreError, match="tile"):
+            TrajectoryReader(tmp_path / "s")
+
+    def test_common_prefix_when_shards_disagree(self, tmp_path, lattice4):
+        # An unclean shutdown can leave shards a fence apart; the
+        # usable store is the common frame prefix.
+        times, frames = _hop_frames(lattice4, 5)
+        n = lattice4.nsites
+        lo = np.arange(n // 2, dtype=np.int64)
+        hi = np.arange(n // 2, n, dtype=np.int64)
+        for rank, sites, upto in ((0, lo, 5), (1, hi, 4)):
+            writer = TrajectoryWriter(
+                tmp_path / "s",
+                lattice4,
+                rank=rank,
+                sites=sites,
+                mode="w",
+                chunk_frames=1,
+            )
+            for t, f in zip(times[:upto], frames[:upto], strict=True):
+                writer.append(t, f[sites])
+            writer.close(final=False)
+        reader = TrajectoryReader(tmp_path / "s")
+        assert len(reader) == 4
+        np.testing.assert_array_equal(reader.frame(3), frames[3])
+
+
+class TestEngineWiring:
+    def test_serial_run_streams_frames(
+        self, tmp_path, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        from repro.kmc.akmc import SerialAKMC
+
+        store = tmp_path / "traj"
+        result = SerialAKMC(
+            lattice8, potential, rate_params, kmc_initial_occ, seed=9
+        ).run(max_events=30, trajectory=store)
+        finalize_store(store)
+        reader = TrajectoryReader(store)
+        # One frame per event at trajectory_every=1.
+        assert len(reader) == 30
+        np.testing.assert_array_equal(reader.frame(-1), result.occupancy)
+        assert reader.time_of(-1) == result.time
+        times = [reader.time_of(i) for i in range(len(reader))]
+        assert times == sorted(times)
+
+    def test_serial_frames_match_stepwise_reference(
+        self, tmp_path, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        from repro.kmc.akmc import SerialAKMC
+
+        store = tmp_path / "traj"
+        SerialAKMC(
+            lattice8, potential, rate_params, kmc_initial_occ, seed=9
+        ).run(max_events=20, trajectory=store)
+        ref = SerialAKMC(
+            lattice8, potential, rate_params, kmc_initial_occ, seed=9
+        )
+        reader = TrajectoryReader(store)
+        for i in range(20):
+            ref.step()
+            np.testing.assert_array_equal(reader.frame(i), ref.occ)
+            assert reader.time_of(i) == ref.time
+
+    def test_trajectory_every_thins_frames(
+        self, tmp_path, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        from repro.kmc.akmc import SerialAKMC
+
+        store = tmp_path / "traj"
+        SerialAKMC(
+            lattice8, potential, rate_params, kmc_initial_occ, seed=9
+        ).run(max_events=30, trajectory=store, trajectory_every=10)
+        assert len(TrajectoryReader(store)) == 3
+
+    def test_recording_does_not_perturb_the_run(
+        self, tmp_path, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        from repro.kmc.akmc import SerialAKMC
+
+        plain = SerialAKMC(
+            lattice8, potential, rate_params, kmc_initial_occ, seed=9
+        ).run(max_events=40)
+        recorded = SerialAKMC(
+            lattice8, potential, rate_params, kmc_initial_occ, seed=9
+        ).run(max_events=40, trajectory=tmp_path / "traj")
+        assert recorded.time == plain.time
+        np.testing.assert_array_equal(recorded.occupancy, plain.occupancy)
+
+    def test_trajectory_every_requires_trajectory(
+        self, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        from repro.kmc.akmc import SerialAKMC
+
+        engine = SerialAKMC(
+            lattice8, potential, rate_params, kmc_initial_occ, seed=9
+        )
+        with pytest.raises(ValueError, match="requires trajectory"):
+            engine.run(max_events=5, trajectory_every=2)
+
+    def test_parallel_rejects_writer_objects(
+        self, tmp_path, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        from repro.kmc.akmc import ParallelAKMC
+
+        writer = TrajectoryWriter(tmp_path / "traj", lattice8)
+        engine = ParallelAKMC(
+            lattice8, potential, rate_params, nranks=2, seed=5
+        )
+        with pytest.raises(TypeError, match="path"):
+            engine.run(kmc_initial_occ, max_cycles=2, trajectory=writer)
+
+    def test_parallel_run_records_global_frames(
+        self, tmp_path, lattice8, potential, rate_params, kmc_initial_occ
+    ):
+        from repro.kmc.akmc import ParallelAKMC
+
+        store = tmp_path / "traj"
+        result = ParallelAKMC(
+            lattice8, potential, rate_params, nranks=4, seed=5
+        ).run(kmc_initial_occ, max_cycles=6, trajectory=store)
+        finalize_store(store)
+        reader = TrajectoryReader(store)
+        assert len(reader) == 6  # one frame per cycle
+        np.testing.assert_array_equal(reader.frame(-1), result.occupancy)
+        assert reader.time_of(-1) == result.time
+        # Conservation in every recorded frame.
+        nvac = int((kmc_initial_occ == 0).sum())
+        for i in range(len(reader)):
+            assert len(reader.vacancy_ranks(i)) == nvac
+
+
+def _coupled_config(**overrides):
+    from repro.core.coupling import CoupledConfig
+    from repro.md.cascade import CascadeConfig
+
+    base = dict(
+        cells=8,
+        seed=3,
+        cascade=CascadeConfig(pka_energy=120.0, nsteps=60),
+        kmc_nranks=2,
+        kmc_max_cycles=8,
+        table_points=500,
+    )
+    base.update(overrides)
+    return CoupledConfig(**base)
+
+
+class TestCoupledStore:
+    """The coupled pipeline streams its trajectory and survives faults."""
+
+    @pytest.fixture(scope="class")
+    def fault_free(self, tmp_path_factory):
+        from repro.core.coupling import CoupledSimulation
+
+        store = tmp_path_factory.mktemp("coupled") / "traj"
+        result = CoupledSimulation(
+            _coupled_config(trajectory=str(store))
+        ).run()
+        return result, store
+
+    def test_store_brackets_the_run(self, fault_free):
+        result, store = fault_free
+        reader = TrajectoryReader(store)
+        assert reader.final
+        assert result.trajectory_frames == len(reader)
+        # Frame 0 is the post-MD damage state; the last frame is the
+        # final KMC state — exactly the two panels of Figure 17.
+        np.testing.assert_array_equal(
+            reader.vacancy_ranks(0), result.vacancies_after_md
+        )
+        np.testing.assert_array_equal(
+            reader.vacancy_ranks(len(reader) - 1),
+            result.vacancies_after_kmc,
+        )
+        assert reader.time_of(0) == 0.0
+        assert reader.time_of(-1) == result.kmc_time
+        times = [reader.time_of(i) for i in range(len(reader))]
+        assert times == sorted(times)
+
+    def test_faulted_run_leaves_identical_store(
+        self, fault_free, tmp_path
+    ):
+        # Acceptance: crash -> checkpoint recovery -> the store ends
+        # bit-identical to a fault-free run's store.
+        from repro.core.coupling import CoupledSimulation
+
+        _, ref_store = fault_free
+        store = tmp_path / "traj"
+        result = CoupledSimulation(
+            _coupled_config(
+                trajectory=str(store),
+                faults="crash:rank=1,cycle=5",
+                checkpoint_every=2,
+                checkpoint_dir=str(tmp_path),
+            )
+        ).run()
+        assert result.recoveries == 1
+        ref = TrajectoryReader(ref_store)
+        got = TrajectoryReader(store)
+        assert len(got) == len(ref)
+        np.testing.assert_array_equal(got.times, ref.times)
+        for i in range(len(ref)):
+            np.testing.assert_array_equal(got.frame(i), ref.frame(i))
+
+    def test_clustering_report_from_store(self, fault_free):
+        from repro.core.clusters import (
+            clustering_report,
+            clustering_report_from_store,
+        )
+
+        result, store = fault_free
+        reader = TrajectoryReader(store)
+        direct = clustering_report(
+            reader.lattice, result.vacancies_after_kmc
+        )
+        assert clustering_report_from_store(reader, -1) == direct
+        assert clustering_report_from_store(store, -1) == direct
+
+
+class TestFig17FromStore:
+    def test_store_fed_reports_match_in_memory(self, tmp_path):
+        # Acceptance: fig17's clustering numbers are unchanged when the
+        # analysis reads the on-disk store instead of in-memory arrays.
+        from repro.experiments import fig17_vacancy_clustering as fig17
+
+        kw = dict(cells=5, concentration=0.025, kmc_events=40, seed=1)
+        plain = fig17.run(**kw)
+        stored = fig17.run(**kw, store_path=tmp_path / "traj")
+        assert stored["before"] == plain["before"]
+        assert stored["after"] == plain["after"]
+        np.testing.assert_array_equal(
+            stored["vacancies_after"], plain["vacancies_after"]
+        )
+        assert stored["summary"] == plain["summary"]
+        assert TrajectoryReader(tmp_path / "traj").final
