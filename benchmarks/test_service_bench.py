@@ -1,0 +1,77 @@
+"""Benchmark: simulation-as-a-service job layer.
+
+The service exists so sweep-shaped workloads pay for each distinct
+scenario once.  These benchmarks quantify the two sides of that trade:
+the cost of a cold execution through the full queue/worker/publish
+machinery versus the near-free warm path (a content-addressed cache
+hit), and the dedup win on a batch of mostly-identical submissions.
+"""
+
+from conftest import print_rows
+from repro.service import ResultCache, ScenarioSpec, run_service
+
+
+def _spec(**kw):
+    base = dict(
+        cells=5, md_steps=30, kmc_max_events=25, seed=7,
+        table_points=500,
+    )
+    base.update(kw)
+    return ScenarioSpec(**base)
+
+
+def test_service_cold_execution(benchmark, tmp_path_factory):
+    """Full cold path: submit, fork a worker, execute, publish."""
+
+    roots = iter(
+        tmp_path_factory.mktemp("svc_cold") / f"r{i}" for i in range(10_000)
+    )
+
+    def cold():
+        records = run_service(next(roots), [_spec()], workers=1)
+        assert records[0].state == "done"
+
+    benchmark.pedantic(cold, rounds=3, iterations=1)
+
+
+def test_service_warm_cache_hit(benchmark, tmp_path_factory):
+    """Warm path: the same spec against an already-published root."""
+    root = tmp_path_factory.mktemp("svc_warm") / "root"
+    spec = _spec()
+    run_service(root, [spec], workers=1)
+    assert ResultCache(root).lookup(spec.key()) is not None
+
+    def warm():
+        records = run_service(root, [spec], workers=1)
+        assert records[0].mode == "cached"
+
+    result = benchmark(warm)
+    assert result is None
+
+
+def test_service_dedup_batch(benchmark, tmp_path_factory):
+    """Six submissions over two distinct scenarios: 2 executions, 4 free."""
+
+    roots = iter(
+        tmp_path_factory.mktemp("svc_dedup") / f"r{i}" for i in range(10_000)
+    )
+    specs = [_spec(seed=7), _spec(seed=7), _spec(seed=7),
+             _spec(seed=8), _spec(seed=8), _spec(seed=8)]
+
+    def batch():
+        records = run_service(next(roots), specs, workers=2)
+        executed = sum(1 for r in records if r.mode == "executed")
+        assert executed == 2
+        return records
+
+    records = benchmark.pedantic(batch, rounds=3, iterations=1)
+    print_rows(
+        "service dedup batch (6 jobs, 2 scenarios)",
+        [
+            {"job": r.job_id, "mode": r.mode,
+             "attempts": r.attempts, "state": r.state}
+            for r in records
+        ],
+        ("job", "mode", "attempts", "state"),
+    )
+    assert all(r.state == "done" for r in records)

@@ -5,13 +5,23 @@ Commands
 ``info``
     Library, machine-model, and experiment inventory.
 ``coupled``
-    Run the coupled MD-KMC pipeline at a chosen box size.
+    Run the coupled MD-KMC pipeline at a chosen box size (a thin
+    client of the same :class:`~repro.service.ScenarioSpec` path the
+    service uses).
 ``cascade``
     Run one MD cascade and report the damage inventory.
 ``kmc-schemes``
     Compare the three parallel-KMC communication schemes.
 ``figure <id>``
     Regenerate a paper figure (``fig09`` .. ``fig17``, ``memory``).
+``submit`` / ``serve`` / ``status`` / ``result``
+    The simulation-as-a-service surface: enqueue scenario jobs on a
+    service root, drain them with a worker pool, inspect the queue,
+    and fetch published (content-addressed, deduplicated) results.
+
+All argument validation — including cross-flag checks and fault-plan
+parsing — routes through ``argparse``, so every usage error exits with
+status 2 and a ``usage:`` message on stderr.
 """
 
 from __future__ import annotations
@@ -36,6 +46,22 @@ FIGURES = {
 
 #: Smallest box the MD neighbor machinery accepts (cells per axis).
 MIN_CELLS = 5
+
+
+def _fault_plan_arg(value: str) -> str:
+    """Validate a ``--faults`` plan at parse time (argparse ``type=``).
+
+    Returns the DSL string unchanged — specs and configs carry the
+    serializable form — but a malformed plan fails with argparse's own
+    exit-2 usage error instead of a hand-rolled print-and-return.
+    """
+    from repro.runtime.faults import FaultPlan, FaultPlanError
+
+    try:
+        FaultPlan.parse(value)
+    except FaultPlanError as exc:
+        raise argparse.ArgumentTypeError(f"bad --faults plan: {exc}") from exc
+    return value
 
 
 def _add_observe_flags(parser) -> None:
@@ -108,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     coupled.add_argument(
         "--faults",
         metavar="PLAN",
+        type=_fault_plan_arg,
         default=None,
         help=(
             "fault-injection plan for the KMC stage, e.g. "
@@ -190,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_observe_flags(coupled)
+    # Cross-flag validation in cmd_coupled routes through this parser's
+    # own error() so it exits 2 exactly like argparse's built-in checks.
+    coupled.set_defaults(_parser=coupled)
 
     cascade = sub.add_parser("cascade", help="run one MD cascade")
     cascade.add_argument("--cells", type=int, default=6)
@@ -228,6 +258,103 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", choices=sorted(FIGURES))
     _add_observe_flags(figure)
+
+    # ------------------------------------------------------------------
+    # Simulation-as-a-service surface
+    # ------------------------------------------------------------------
+    def _root_flag(p) -> None:
+        p.add_argument(
+            "--root",
+            required=True,
+            metavar="DIR",
+            help="service root directory (queue/, cache/, obs/ live here)",
+        )
+
+    submit = sub.add_parser(
+        "submit",
+        help="enqueue one scenario job on a service root",
+        description=(
+            "Build a declarative ScenarioSpec from the flags and append "
+            "it durably to the service queue.  Identical specs dedupe "
+            "to one execution when scheduled; results are published "
+            "under the spec's content-addressed key."
+        ),
+    )
+    _root_flag(submit)
+    submit.add_argument("--cells", type=int, default=8)
+    submit.add_argument("--events", type=int, default=500,
+                        help="KMC event budget (serial engine)")
+    submit.add_argument("--temperature", type=float, default=600.0)
+    submit.add_argument("--seed", type=int, default=2018)
+    submit.add_argument("--md-steps", type=int, default=None,
+                        help="MD cascade steps (default: cascade default)")
+    submit.add_argument("--pka", type=float, default=None, metavar="EV",
+                        help="PKA energy (default: cascade default)")
+    submit.add_argument("--table-points", type=int, default=2000)
+    submit.add_argument("--recombination-radius", type=float, default=None,
+                        metavar="A")
+    submit.add_argument("--kmc-ranks", type=int, default=None,
+                        help="parallel KMC rank count (default: serial)")
+    submit.add_argument("--kmc-cycles", type=int, default=50)
+    submit.add_argument("--kmc-scheme", default="ondemand",
+                        choices=("traditional", "ondemand", "onesided"))
+    submit.add_argument(
+        "--trajectory-every", type=int, default=None, metavar="N",
+        help=(
+            "publish a chunked trajectory store recorded every N "
+            "events/cycles as part of the result (default: no store)"
+        ),
+    )
+    submit.add_argument("--faults", metavar="PLAN", type=_fault_plan_arg,
+                        default=None,
+                        help="fault-injection plan for the KMC stage")
+    submit.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N")
+    submit.add_argument("--backend", default=None,
+                        choices=("thread", "process", "overdecomposed"))
+    submit.add_argument("--workers", type=int, default=None, metavar="P")
+    submit.set_defaults(_parser=submit)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a worker pool draining a service root",
+        description=(
+            "Schedule pending jobs onto forked worker processes: "
+            "identical specs share one execution, cached keys complete "
+            "immediately, crashed workers are retried with bounded "
+            "attempts."
+        ),
+    )
+    _root_flag(serve)
+    serve.add_argument("--workers", type=int, default=2, metavar="P",
+                       help="concurrent worker processes (default: 2)")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="execution attempts per job key (default: 3)")
+    serve.add_argument(
+        "--drain", action="store_true",
+        help="exit once the queue is fully processed (default: keep "
+             "watching for new submissions)",
+    )
+    serve.add_argument("--poll", type=float, default=0.05, metavar="SECONDS",
+                       help="scheduler poll interval (default: 0.05)")
+    serve.set_defaults(_parser=serve)
+
+    status = sub.add_parser(
+        "status", help="show job states and queue statistics of a root"
+    )
+    _root_flag(status)
+    status.add_argument("--job", default=None, metavar="ID",
+                        help="show one job (with its live observe snapshot)")
+    status.set_defaults(_parser=status)
+
+    result = sub.add_parser(
+        "result", help="show a completed job's published artifacts"
+    )
+    _root_flag(result)
+    result.add_argument("job", metavar="ID", help="job id (e.g. job-000001)")
+    result.add_argument("--json", action="store_true",
+                        help="print the raw result.json payload")
+    result.set_defaults(_parser=result)
 
     return parser
 
@@ -292,23 +419,15 @@ def cmd_info() -> int:
 
 
 def cmd_coupled(args) -> int:
-    from repro.core.coupling import CoupledConfig, CoupledSimulation
-    from repro.md.cascade import CascadeConfig
-    from repro.runtime.faults import FaultPlan, FaultPlanError
+    from repro.core.coupling import CoupledSimulation
+    from repro.runtime.faults import FaultPlan
+    from repro.service import ScenarioSpec, SpecError
 
-    plan = None
-    if args.faults is not None:
-        try:
-            plan = FaultPlan.parse(args.faults)
-        except FaultPlanError as exc:
-            print(f"error: bad --faults plan: {exc}", file=sys.stderr)
-            return 2
-        print(f"fault plan: {plan.describe()}")
     if args.trajectory is None and args.trajectory_every != 1:
-        print(
-            "error: --trajectory-every requires --trajectory", file=sys.stderr
-        )
-        return 2
+        args._parser.error("--trajectory-every requires --trajectory")
+    if args.faults is not None:
+        # Parse-time validated (argparse type); describe for the log.
+        print(f"fault plan: {FaultPlan.parse(args.faults).describe()}")
     profiling = _profiling_requested(args)
     cells = args.cells
     if cells < MIN_CELLS:
@@ -327,30 +446,35 @@ def cmd_coupled(args) -> int:
               "(1 rank); pass --kmc-ranks 0 to force the serial engine")
     if kmc_nranks == 0:
         kmc_nranks = None
-    cascade_cfg = None
-    if args.md_steps is not None:
-        cascade_cfg = CascadeConfig(
-            temperature=args.temperature, nsteps=args.md_steps
-        )
-    registry = _start_observation(args)
-    sim = CoupledSimulation(
-        CoupledConfig(
+    # One spec path for batch and service runs: `coupled` builds the
+    # same declarative ScenarioSpec `submit` enqueues, then executes it
+    # inline with the run-local knobs (paths, profiling) layered on top.
+    try:
+        spec = ScenarioSpec(
             cells=cells,
             temperature=args.temperature,
-            cascade=cascade_cfg,
+            md_steps=args.md_steps,
             kmc_max_events=args.events,
             kmc_nranks=kmc_nranks,
-            kmc_backend=args.backend,
-            kmc_workers=args.workers,
             kmc_max_cycles=args.kmc_cycles,
             seed=args.seed,
-            sunway_model=profiling,
-            faults=plan,
+            trajectory_every=(
+                args.trajectory_every if args.trajectory is not None else None
+            ),
+            faults=args.faults,
             checkpoint_every=args.checkpoint_every,
-            checkpoint_dir=args.checkpoint_dir,
+            backend=args.backend,
+            workers=args.workers,
             watchdog=args.watchdog,
+        )
+    except SpecError as exc:
+        args._parser.error(str(exc))
+    registry = _start_observation(args)
+    sim = CoupledSimulation(
+        spec.to_coupled_config(
             trajectory=args.trajectory,
-            trajectory_every=args.trajectory_every,
+            checkpoint_dir=args.checkpoint_dir,
+            sunway_model=profiling,
         )
     )
     print(f"coupled MD-KMC over {sim.lattice.nsites} sites ...")
@@ -386,6 +510,151 @@ def cmd_coupled(args) -> int:
             f"-> {result.trajectory_path}"
         )
     _finish_observation(args, registry)
+    return 0
+
+
+def _spec_from_submit_args(args):
+    from repro.service import ScenarioSpec, SpecError
+
+    try:
+        return ScenarioSpec(
+            cells=args.cells,
+            temperature=args.temperature,
+            table_points=args.table_points,
+            md_steps=args.md_steps,
+            pka_energy=args.pka,
+            kmc_max_events=args.events,
+            kmc_nranks=args.kmc_ranks,
+            kmc_max_cycles=args.kmc_cycles,
+            recombination_radius=args.recombination_radius,
+            trajectory_every=args.trajectory_every,
+            seed=args.seed,
+            kmc_scheme=args.kmc_scheme,
+            backend=args.backend,
+            workers=args.workers,
+            faults=args.faults,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except SpecError as exc:
+        args._parser.error(str(exc))
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    spec = _spec_from_submit_args(args)
+    record = ServiceClient(args.root).submit(spec)
+    print(
+        f"submitted {record.job_id} key={record.key[:12]} "
+        f"({record.state}) -> {args.root}"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ServicePool
+
+    pool = ServicePool(
+        args.root,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        notify=print,
+    )
+    mode = "drain" if args.drain else "watch"
+    print(
+        f"serving {args.root} with {args.workers} worker(s) "
+        f"(max {args.max_attempts} attempt(s)/job, {mode} mode)"
+    )
+    try:
+        pool.run(drain=args.drain, poll=args.poll)
+    except KeyboardInterrupt:
+        print("interrupted; leaving in-flight workers to finish")
+        pool.shutdown(kill=False)
+        return 130
+    print("queue drained")
+    return 0
+
+
+def cmd_status(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+    from repro.service.scheduler import summarize
+
+    client = ServiceClient(args.root)
+    if args.job is not None:
+        record = client.job(args.job)
+        print(
+            f"{record.job_id}  {record.state:8s} key={record.key[:12]}  "
+            f"attempts={record.attempts}  {record.mode or '-'}"
+        )
+        if record.error:
+            print(f"  error: {record.error}")
+        snapshot = client.observe_snapshot(args.job)
+        if snapshot is not None:
+            counters = snapshot.get("counters", {})
+            print(f"  stage: {snapshot.get('stage', '?')}")
+            for name in sorted(counters):
+                print(f"  {name}: {counters[name]:g}")
+        return 0
+    records = client.jobs()
+    for record in records:
+        line = (
+            f"{record.job_id}  {record.state:8s} key={record.key[:12]}  "
+            f"attempts={record.attempts}  {record.mode or '-'}"
+        )
+        if record.error:
+            line += f"  error: {record.error}"
+        print(line)
+    stats = summarize(records)
+    states = stats["states"]
+    print(
+        f"jobs: {stats['total']} total, {states['done']} done, "
+        f"{states['failed']} failed, {states['running']} running, "
+        f"{states['pending']} pending"
+    )
+    print(
+        f"executions: {stats['executions']}, "
+        f"deduplicated: {stats['deduplicated']}, "
+        f"retries: {stats['retries']}"
+    )
+    # Greppable by scripts (the CI smoke asserts on it).
+    print("summary:", json.dumps(stats, sort_keys=True))
+    return 0
+
+
+def cmd_result(args) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.root)
+    try:
+        result = client.result(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.summary, indent=2, sort_keys=True))
+        return 0
+    summary = result.summary
+    print(f"{result.job_id} key={result.key}")
+    print(f"entry: {result.path}")
+    print(
+        f"{summary['kmc_events']} events over {summary['kmc_time_ps']:.3g} ps "
+        f"-> {summary['real_time_seconds']:.3g} s real time"
+    )
+    print(
+        f"vacancies: {summary['vacancies_after_md']} after MD, "
+        f"{summary['vacancies_after_kmc']} after KMC"
+    )
+    if summary.get("trajectory_frames") is not None:
+        print(f"trajectory: {summary['trajectory_frames']} frames")
+    print("artifacts:")
+    for rel, meta in sorted(result.manifest["artifacts"].items()):
+        marker = "*" if meta.get("deterministic") else " "
+        print(f" {marker} {rel}  {meta['bytes']} B  sha256={meta['sha256'][:12]}")
+    print("(* = bit-deterministic artifact)")
     return 0
 
 
@@ -498,6 +767,14 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_kmc_schemes(args)
     if args.command == "figure":
         return cmd_figure(args)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "status":
+        return cmd_status(args)
+    if args.command == "result":
+        return cmd_result(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -219,18 +219,38 @@ class CoupledResult:
 
 
 class CoupledSimulation:
-    """Driver of the full MD -> KMC pipeline."""
+    """Driver of the full MD -> KMC pipeline.
+
+    Parameters
+    ----------
+    config / potential:
+        The run configuration and an optional pre-built potential.
+    progress:
+        Optional callable invoked with a stage name (``"setup"``,
+        ``"cascade"``, ``"checkpoint"``, ``"sunway_model"``,
+        ``"map_damage"``, ``"trajectory_init"``, ``"kmc"``,
+        ``"analysis"``) as each pipeline stage begins — the metric
+        streaming hook the service worker uses to publish live
+        observe-registry snapshots at stage boundaries.  Exceptions it
+        raises propagate (a broken hook is the caller's bug).
+    """
 
     def __init__(
         self,
         config: CoupledConfig | None = None,
         potential: EAMPotential | None = None,
+        progress=None,
     ) -> None:
         self.config = config or CoupledConfig()
+        self.progress = progress
         self.lattice = BCCLattice(
             self.config.cells, self.config.cells, self.config.cells
         )
         self.potential = potential or make_fe_potential(n=self.config.table_points)
+
+    def _notify(self, stage: str) -> None:
+        if self.progress is not None:
+            self.progress(stage)
 
     def _build_md_engine(self) -> MDEngine:
         """Stage 1: construct the MD engine over the lattice."""
@@ -443,11 +463,13 @@ class CoupledSimulation:
         """
         cfg = self.config
         with obs.phase("coupled.pipeline"):
+            self._notify("setup")
             with obs.phase("coupled.setup"):
                 engine = self._build_md_engine()
                 cascade_cfg = cfg.cascade or CascadeConfig(
                     temperature=cfg.temperature
                 )
+            self._notify("cascade")
             with obs.phase("coupled.cascade"):
                 cascade = run_cascade(engine, cascade_cfg)
             if cfg.checkpoint_dir is not None:
@@ -455,14 +477,17 @@ class CoupledSimulation:
                 # (or a later session) never has to replay the MD stage.
                 from repro.io.checkpoint import save_checkpoint
 
+                self._notify("checkpoint")
                 with obs.phase("coupled.checkpoint"):
                     save_checkpoint(
                         self._checkpoint_dir() / "md_cascade.npz", engine
                     )
             sunway_report = None
             if cfg.sunway_model:
+                self._notify("sunway_model")
                 with obs.phase("coupled.sunway_model"):
                     sunway_report = self.model_sunway_step(engine)
+            self._notify("map_damage")
             with obs.phase("coupled.map_damage"):
                 occ0 = self.occupancy_from_cascade(cascade)
                 vac_md = np.flatnonzero(occ0 == VACANCY)
@@ -475,12 +500,14 @@ class CoupledSimulation:
                 # checkpoints.
                 from repro.io.store import TrajectoryWriter
 
+                self._notify("trajectory_init")
                 with obs.phase("io.trajectory.init"):
                     writer = TrajectoryWriter(
                         cfg.trajectory, self.lattice, mode="w"
                     )
                     writer.append(0.0, occ0)
                     writer.close(final=False)
+            self._notify("kmc")
             with obs.phase("coupled.kmc"):
                 kmc, recoveries, fault_report = self._run_kmc_supervised(occ0)
             trajectory_frames = None
@@ -490,6 +517,7 @@ class CoupledSimulation:
                 with obs.phase("io.trajectory.finalize"):
                     finalize_store(cfg.trajectory)
                     trajectory_frames = len(TrajectoryReader(cfg.trajectory))
+            self._notify("analysis")
             with obs.phase("coupled.analysis"):
                 c_mc = len(vac_md) / self.lattice.nsites
                 # KMC clock runs in ps; the timescale formula takes seconds.

@@ -45,6 +45,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import warnings
 import zlib
 from bisect import bisect_right
 from pathlib import Path
@@ -67,6 +68,17 @@ _DELTA = b"D"
 
 class StoreError(RuntimeError):
     """A trajectory store is malformed, corrupt, or used inconsistently."""
+
+
+class TornTailWarning(UserWarning):
+    """A shard held torn bytes beyond its last indexed chunk.
+
+    Raised (as a warning, recovery still proceeds) when a reopened
+    writer truncates unindexed trailing bytes a crash left behind.  A
+    deliberate ``UserWarning`` subclass: the numeric-safety CI leg
+    promotes ``RuntimeWarning`` to errors, and recovering from a torn
+    tail is legitimate, observable behaviour — not a numeric fault.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -282,7 +294,19 @@ class TrajectoryWriter:
         end = self._sites_length
         if self._chunks:
             end = int(self._chunks[-1]["offset"]) + int(self._chunks[-1]["length"])
-        # Drop any torn tail a crash left beyond the last indexed chunk.
+        # Drop any torn tail a crash left beyond the last indexed chunk —
+        # but never silently: recovered-from corruption must be
+        # observable (the REP005 discipline applied to data, not code).
+        size = os.path.getsize(self._bin_path)
+        if size > end:
+            obs.add("io.trajectory.torn_tail")
+            warnings.warn(
+                f"trajectory shard {self._bin_path.name} in {self.path}: "
+                f"dropping {size - end} unindexed tail byte(s) left by an "
+                "interrupted append",
+                TornTailWarning,
+                stacklevel=3,
+            )
         self._fh = open(self._bin_path, "r+b", buffering=0)
         self._fh.truncate(end)
         self._fh.seek(end)

@@ -481,7 +481,22 @@ class ParallelAKMC:
     workers:
         Physical worker count for the overdecomposed / rank-group
         backends; ``None`` defers to ``REPRO_WORKERS`` / cpu count.
+    rate_bound:
+        How the per-vacancy rate bound behind the cycle dt is enforced.
+        The EAM correction can drive a barrier below the ``e_m0``
+        reference (only the ``de_min`` floor limits it), so raw event
+        rates can exceed the nominal ``8 * nu * exp(-e_m0/kT)`` that dt
+        is derived from.  ``"clamp"`` (default) keeps the
+        reference-rate dt and caps each event's rate at the reference
+        rate, counting every clamp on ``kmc.rate_bound.clamped`` — the
+        documented invariant then truly holds.  ``"strict"`` derives dt
+        from the true supremum ``8 * nu * exp(-de_min/kT)`` instead
+        (physically exact, but the dt shrinks by orders of magnitude,
+        so cycles advance the clock far more slowly).
     """
+
+    #: Accepted ``rate_bound`` enforcement modes.
+    RATE_BOUND_MODES = ("clamp", "strict")
 
     def __init__(
         self,
@@ -498,9 +513,16 @@ class ParallelAKMC:
         watchdog: float | None = None,
         backend: str | None = None,
         workers: int | None = None,
+        rate_bound: str = "clamp",
     ) -> None:
         if scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {list(SCHEMES)}")
+        if rate_bound not in self.RATE_BOUND_MODES:
+            raise ValueError(
+                f"unknown rate_bound {rate_bound!r}; "
+                f"choose from {list(self.RATE_BOUND_MODES)}"
+            )
+        self.rate_bound = rate_bound
         self.lattice = lattice
         self.potential = potential
         self.params = params or RateParameters()
@@ -528,11 +550,41 @@ class ParallelAKMC:
     # ------------------------------------------------------------------
     def _make_model(self, sites: np.ndarray):
         """Build the rank-local rate model over a site subset."""
-        return KMCModel(self.lattice, self.potential, self.params, sites=sites)
+        return KMCModel(
+            self.lattice,
+            self.potential,
+            self.params,
+            sites=sites,
+            rate_cap=self._rate_cap(),
+        )
 
     def _rate_bound_per_vacancy(self) -> float:
-        """Upper bound on one vacancy's total rate, for the cycle dt."""
+        """Upper bound on one vacancy's total rate, for the cycle dt.
+
+        In ``"clamp"`` mode this is the historical reference-rate bound,
+        made an actual bound by the per-event cap (:meth:`_rate_cap`).
+        In ``"strict"`` mode it is the true supremum: ``de_min`` is the
+        only floor below a corrected barrier, so no event can exceed
+        ``nu * exp(-de_min/kT)`` and a vacancy's 8 candidate hops cannot
+        exceed eight times that.
+        """
+        if self.rate_bound == "strict":
+            return 8.0 * self.params.nu * math.exp(
+                -self.params.de_min / self.params.kt
+            )
         return 8.0 * self.params.reference_rate
+
+    def _rate_cap(self) -> float | None:
+        """Per-event rate ceiling enforcing :meth:`_rate_bound_per_vacancy`.
+
+        A vacancy has at most 8 candidate hops, so capping each event at
+        bound/8 guarantees the per-vacancy total never exceeds the bound
+        the cycle dt was derived from.  ``None`` in strict mode — the dt
+        bound is already a true supremum there.
+        """
+        if self.rate_bound == "strict":
+            return None
+        return self._rate_bound_per_vacancy() / 8.0
 
     def run(
         self,
@@ -654,8 +706,9 @@ class ParallelAKMC:
                 with obs.phase("kmc.cycle"):
                     # "#1: Compute dt for the subdomain" + global time sync —
                     # the collective the weak-scaling analysis blames.  The
-                    # cycle step derives from the reference rate (the hop rate
-                    # at the nominal barrier) times the busiest rank's vacancy
+                    # cycle step derives from the per-vacancy rate bound
+                    # (reference rate in clamp mode, de_min supremum in
+                    # strict mode) times the busiest rank's vacancy
                     # count x 8 candidate hops.  It depends only on owned-site
                     # occupancy — guaranteed current under every communication
                     # scheme — so all schemes draw identical dt.

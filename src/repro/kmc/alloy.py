@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observe as obs
 from repro.constants import KB_EV
 from repro.kmc.events import build_static_matrix
 from repro.kmc.selection import select_event
@@ -85,6 +86,12 @@ class AlloyKMCModel:
         :func:`~repro.potential.alloy.make_fe_cu_alloy`).
     params:
         Rate parameters.
+    rate_cap:
+        Optional per-event rate ceiling (see
+        :class:`~repro.kmc.events.KMCModel`): the EAM correction can
+        push a barrier below the species reference, so the parallel
+        engine passes its dt bound's per-event share here; clamped
+        events are counted on ``kmc.rate_bound.clamped``.
     """
 
     def __init__(
@@ -94,8 +101,12 @@ class AlloyKMCModel:
         params: AlloyRateParameters | None = None,
         table_points: int = 1000,
         sites: np.ndarray | None = None,
+        rate_cap: float | None = None,
     ) -> None:
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError(f"rate_cap must be positive, got {rate_cap}")
         self.lattice = lattice
+        self.rate_cap = rate_cap
         self.params = params or AlloyRateParameters()
         self.alloy = alloy or make_fe_cu_alloy(n=table_points)
         if sites is None:
@@ -215,6 +226,12 @@ class AlloyKMCModel:
                 self.params.de_min,
             )
             rates[idx] = self.params.nu * math.exp(-de / self.params.kt)
+        cap = self.rate_cap
+        if cap is not None:
+            over = int(np.count_nonzero(rates > cap))
+            if over:
+                obs.add("kmc.rate_bound.clamped", over)
+                rates = np.minimum(rates, cap)
         return targets, rates
 
     def execute_swap(self, occ: np.ndarray, vrow: int, trow: int) -> None:
@@ -269,10 +286,18 @@ def make_parallel_alloy_akmc(
     class _AlloyEngine(ParallelAKMC):
         def _make_model(self, sites):
             return AlloyKMCModel(
-                self.lattice, alloy=tables, params=params, sites=sites
+                self.lattice,
+                alloy=tables,
+                params=params,
+                sites=sites,
+                rate_cap=self._rate_cap(),
             )
 
         def _rate_bound_per_vacancy(self) -> float:
+            # Strict mode: de_min is the only floor under the EAM
+            # correction, so the true supremum is species-independent.
+            if self.rate_bound == "strict":
+                return 8.0 * params.nu * math.exp(-params.de_min / params.kt)
             fastest = min(params.e_m0_fe, params.e_m0_cu)
             return 8.0 * params.nu * math.exp(-fastest / params.kt)
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import kernels
+from repro import observe as obs
 from repro.constants import KB_EV
 from repro.lattice.bcc import BCCLattice
 from repro.potential.eam import EAMPotential
@@ -151,6 +152,17 @@ class KMCModel:
         Rate parameters.
     sites:
         Sorted global site ranks covered (``None`` = full lattice).
+    rate_cap:
+        Optional per-event rate ceiling.  The EAM correction can push a
+        barrier below the ``e_m0`` reference (only the ``de_min`` floor
+        limits it), so event rates can exceed the nominal
+        ``nu * exp(-e_m0/kT)`` reference rate.  Engines whose cycle dt
+        is derived from that reference (the sector-synchronous parallel
+        engines) pass a cap here so the dt invariant actually holds;
+        every clamped event is counted on the
+        ``kmc.rate_bound.clamped`` observe counter.  ``None`` (the
+        default, used by the exact serial engines) leaves rates
+        untouched.
 
     The model itself is stateless with respect to occupancy: engines own
     the occupancy array and pass it in.
@@ -162,10 +174,14 @@ class KMCModel:
         potential: EAMPotential,
         params: RateParameters,
         sites: np.ndarray | None = None,
+        rate_cap: float | None = None,
     ) -> None:
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError(f"rate_cap must be positive, got {rate_cap}")
         self.lattice = lattice
         self.potential = potential
         self.params = params
+        self.rate_cap = rate_cap
         if sites is None:
             sites = np.arange(lattice.nsites, dtype=np.int64)
         self.sites = np.asarray(sites, dtype=np.int64)
@@ -271,7 +287,22 @@ class KMCModel:
             self.params.e_m0 + 0.5 * (e_after - e_before), self.params.de_min
         )
         rates = self.params.nu * np.exp(-de / self.params.kt)
-        return targets, rates
+        return targets, self._apply_rate_cap(rates)
+
+    def _apply_rate_cap(self, rates: np.ndarray) -> np.ndarray:
+        """Clamp rates to ``rate_cap`` and count every clamped event.
+
+        Applied after the exp, outside the kernels, so the numba and
+        NumPy rate paths stay bit-identical under the cap.
+        """
+        cap = self.rate_cap
+        if cap is None or len(rates) == 0:
+            return rates
+        over = int(np.count_nonzero(rates > cap))
+        if over:
+            obs.add("kmc.rate_bound.clamped", over)
+            rates = np.minimum(rates, cap)
+        return rates
 
     def vacancy_events_batch(
         self, vrows, occ: np.ndarray
@@ -321,7 +352,7 @@ class KMCModel:
                 # exp stays NumPy-side in both kernel backends: libm and
                 # NumPy's SIMD exp differ in the last ulp.
                 rates = self.params.nu * np.exp(-de / self.params.kt)
-                return counts, targets, rates
+                return counts, targets, self._apply_rate_cap(rates)
         cand = self.first_matrix[vrows]
         ev_mask = self.first_valid[vrows] & (occ[cand] == ATOM)
         counts = ev_mask.sum(axis=1).astype(np.int64)
@@ -345,7 +376,7 @@ class KMCModel:
             self.params.e_m0 + 0.5 * (e_after - e_before), self.params.de_min
         )
         rates = self.params.nu * np.exp(-de / self.params.kt)
-        return counts, targets, rates
+        return counts, targets, self._apply_rate_cap(rates)
 
     def total_rate(self, vacancy_rows, occ: np.ndarray) -> float:
         """Sum of all event rates of the given vacancies."""

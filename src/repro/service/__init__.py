@@ -1,0 +1,63 @@
+"""Simulation-as-a-service job layer over the coupled MD-KMC driver.
+
+The ROADMAP's "millions of users" refactor: many small parameterized
+coupled runs (dose sweeps, seed ensembles, scenario studies) are
+*submitted* as declarative :class:`ScenarioSpec` values instead of being
+executed inline.  The layer is a directory, not a daemon framework —
+every component is crash-safe plain files:
+
+* :mod:`repro.service.spec` — the declarative scenario description and
+  its canonical content hash (spec identity + schema + code version).
+* :mod:`repro.service.queue` — the persistent on-disk job queue,
+  journaled through :mod:`repro.io.atomic` so an accepted job is never
+  lost or duplicated by a crash.
+* :mod:`repro.service.cache` — the content-addressed result store:
+  one published directory per spec key, staged and renamed atomically,
+  so identical specs dedupe to one execution and cache hits are
+  bit-exact (seeds make runs pure functions of the spec).
+* :mod:`repro.service.scheduler` — :class:`ServicePool`, scheduling
+  pending jobs onto a pool of forked worker processes with bounded
+  crash retries.
+* :mod:`repro.service.worker` — one job's execution: build the
+  :class:`~repro.core.coupling.CoupledConfig` from the spec, run it
+  under the PR 3 recovery supervisor, stream observe-registry
+  snapshots, and stage the artifacts.
+* :mod:`repro.service.client` — the embedding API
+  (:class:`ServiceClient`, :func:`run_service`); the CLI ``serve`` /
+  ``submit`` / ``status`` / ``result`` subcommands are thin wrappers
+  over it, and ``coupled`` builds the same :class:`ScenarioSpec`.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import JobResult, ServiceClient, run_service
+from repro.service.queue import (
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobQueue,
+    JobRecord,
+    ServiceError,
+)
+from repro.service.scheduler import ServicePool
+from repro.service.spec import SPEC_SCHEMA_VERSION, ScenarioSpec, SpecError
+from repro.service.worker import execute_spec
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "PENDING",
+    "RUNNING",
+    "SPEC_SCHEMA_VERSION",
+    "JobQueue",
+    "JobRecord",
+    "JobResult",
+    "ResultCache",
+    "ScenarioSpec",
+    "ServiceClient",
+    "ServiceError",
+    "ServicePool",
+    "SpecError",
+    "execute_spec",
+    "run_service",
+]

@@ -189,11 +189,27 @@ class TestFaultFlags:
         assert (tmp_path / "kmc_checkpoint.npz").exists()
 
     def test_bad_fault_plan_exits_2(self, capsys):
-        rc = main(
-            ["coupled", "--faults", "explode:rank=0,cycle=1"]
-        )
+        # Routed through argparse (type=): usage error, SystemExit(2).
+        with pytest.raises(SystemExit) as exc_info:
+            main(["coupled", "--faults", "explode:rank=0,cycle=1"])
         err = capsys.readouterr().err
-        assert rc == 2
+        assert exc_info.value.code == 2
+        assert "bad --faults plan" in err
+        assert "explode" in err
+        assert "usage:" in err
+
+    def test_bad_fault_plan_exits_2_on_submit(self, capsys, tmp_path):
+        # Same validation path (argparse type=) on the service surface.
+        with pytest.raises(SystemExit) as exc_info:
+            main(
+                [
+                    "submit",
+                    "--root", str(tmp_path),
+                    "--faults", "explode:rank=0,cycle=1",
+                ]
+            )
+        err = capsys.readouterr().err
+        assert exc_info.value.code == 2
         assert "bad --faults plan" in err
         assert "explode" in err
 
@@ -209,3 +225,37 @@ class TestFaultFlags:
         )
         assert rc == 0
         assert "after KMC" in capsys.readouterr().out
+
+
+class TestValidationExitCodes:
+    """Every usage error exits 2 via argparse, on every subcommand."""
+
+    def test_trajectory_every_requires_trajectory(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["coupled", "--cells", "6", "--trajectory-every", "2"])
+        err = capsys.readouterr().err
+        assert exc_info.value.code == 2
+        assert "--trajectory-every requires --trajectory" in err
+        assert "usage:" in err
+
+    def test_coupled_bad_spec_exits_2(self, capsys):
+        # Spec-level validation (cells floor) also routes to exit 2.
+        with pytest.raises(SystemExit) as exc_info:
+            main(["coupled", "--cells", "6", "--temperature", "-10"])
+        err = capsys.readouterr().err
+        assert exc_info.value.code == 2
+        assert "temperature" in err
+
+    def test_submit_bad_spec_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc_info:
+            main(
+                [
+                    "submit",
+                    "--root", str(tmp_path),
+                    "--cells", "2",
+                ]
+            )
+        err = capsys.readouterr().err
+        assert exc_info.value.code == 2
+        assert "cells" in err
+        assert "usage:" in err

@@ -13,9 +13,11 @@ import json
 import numpy as np
 import pytest
 
+from repro import observe as obs
 from repro.io.kmc_trajectory import KMCTrajectory
 from repro.io.store import (
     StoreError,
+    TornTailWarning,
     TrajectoryReader,
     TrajectoryWriter,
     finalize_store,
@@ -257,13 +259,36 @@ class TestCrashSafety:
         reader = TrajectoryReader(tmp_path / "s")
         assert len(reader) == 6
         np.testing.assert_array_equal(reader.frame(-1), frames[-1])
-        writer = TrajectoryWriter(tmp_path / "s")
+        # The drop is no longer silent: the resume warns (naming the
+        # shard) and records an observe counter.
+        registry = obs.enable(trace=False)
+        try:
+            with pytest.warns(TornTailWarning, match="shard-00000.bin"):
+                writer = TrajectoryWriter(tmp_path / "s")
+        finally:
+            obs.disable()
+        assert registry.counters["io.trajectory.torn_tail"] == 1
         assert bin_path.stat().st_size == good  # tail dropped
         writer.append(times[-1] + 1.0, frames[0])
         writer.finalize()
         np.testing.assert_array_equal(
             TrajectoryReader(tmp_path / "s").frame(-1), frames[0]
         )
+
+    def test_clean_resume_does_not_warn(self, tmp_path, lattice4):
+        import warnings
+
+        times, frames = _hop_frames(lattice4, 6)
+        writer = TrajectoryWriter(
+            tmp_path / "s", lattice4, mode="w", chunk_frames=3
+        )
+        for t, f in zip(times, frames, strict=True):
+            writer.append(t, f)
+        writer.close(final=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TornTailWarning)
+            writer = TrajectoryWriter(tmp_path / "s")
+        writer.close(final=False)
 
     def test_unflushed_frames_lost_indexed_frames_survive(
         self, tmp_path, lattice4
