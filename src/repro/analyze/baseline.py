@@ -83,6 +83,19 @@ def apply_baseline(
     return kept, baselined, stale
 
 
+_BASELINE_COMMENT = (
+    "Acknowledged repro.analyze findings.  Every entry must carry a "
+    "real justification and 'justified': true; unjustified and "
+    "stale entries are reported by the scan and fail it."
+)
+
+
+def render_entries(entries: list[dict]) -> str:
+    """A baseline document holding ``entries`` verbatim."""
+    doc = {"comment": _BASELINE_COMMENT, "suppressions": entries}
+    return json.dumps(doc, indent=2) + "\n"
+
+
 def render_baseline(findings: list[Finding]) -> str:
     """A baseline document acknowledging ``findings`` (justify by hand)."""
     entries = [
@@ -95,12 +108,25 @@ def render_baseline(findings: list[Finding]) -> str:
         }
         for f in sorted(set(findings), key=Finding.sort_key)
     ]
-    doc = {
-        "comment": (
-            "Acknowledged repro.analyze findings.  Every entry must carry a "
-            "real justification and 'justified': true; unjustified and "
-            "stale entries are reported by the scan and fail it."
-        ),
-        "suppressions": entries,
-    }
-    return json.dumps(doc, indent=2) + "\n"
+    return render_entries(entries)
+
+
+def prune_baseline(
+    path: str | Path, entries: list[dict], stale: list[dict]
+) -> list[dict]:
+    """Rewrite ``path`` without the stale entries; return what was dropped.
+
+    Matching is by fingerprint (rule, path, snippet), so duplicates of a
+    stale fingerprint are dropped together.  The file is only rewritten
+    when something was actually stale.
+    """
+    stale_keys = {(e["rule"], e["path"], e["snippet"]) for e in stale}
+    kept = [
+        e
+        for e in entries
+        if (e["rule"], e["path"], e["snippet"]) not in stale_keys
+    ]
+    dropped = [e for e in entries if e not in kept]
+    if dropped:
+        Path(path).write_text(render_entries(kept))
+    return dropped

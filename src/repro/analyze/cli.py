@@ -16,8 +16,10 @@ from repro.analyze.baseline import (
     apply_baseline,
     entry_is_justified,
     load_baseline,
+    prune_baseline,
     render_baseline,
 )
+from repro.analyze.core import all_rules
 from repro.analyze.runner import analyze_paths
 
 DEFAULT_BASELINE = "analyze-baseline.json"
@@ -58,6 +60,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings as a baseline (justify by hand), exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "drop stale entries (fingerprints no longer found) from the "
+            "baseline file and exit 1 if any were stale"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="REP0xx[,REP0xx...]",
+        default=None,
+        help=(
+            "restrict the scan to a comma-separated rule subset (scoped "
+            "allowlist for tests/benchmarks scans)"
+        ),
+    )
+    parser.add_argument(
         "--explain",
         metavar="REP0xx",
         default=None,
@@ -84,7 +103,20 @@ def main(argv: list[str] | None = None) -> int:
         print(text, file=out)
         return 0
 
-    result = analyze_paths(args.paths)
+    rules = None
+    if args.rules is not None:
+        registry = all_rules()
+        wanted = [c.strip().upper() for c in args.rules.split(",") if c.strip()]
+        unknown = [c for c in wanted if c not in registry]
+        if unknown:
+            print(
+                f"unknown rule(s) {', '.join(unknown)}; --list-rules",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [registry[c]() for c in wanted]
+
+    result = analyze_paths(args.paths, rules=rules)
 
     if args.write_baseline is not None:
         Path(args.write_baseline).write_text(render_baseline(result.findings))
@@ -97,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    baselined, stale, unjustified = [], [], []
+    baselined, stale, unjustified, pruned = [], [], [], []
     baseline_path = args.baseline
     if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
         baseline_path = DEFAULT_BASELINE
@@ -111,6 +143,18 @@ def main(argv: list[str] | None = None) -> int:
             result.findings, entries
         )
         unjustified = [e for e in entries if not entry_is_justified(e)]
+        if args.prune_baseline:
+            pruned = prune_baseline(baseline_path, entries, stale)
+            for entry in pruned:
+                print(
+                    "pruned stale baseline entry: "
+                    f"{entry['rule']} {entry['path']} :: {entry['snippet']}",
+                    file=out,
+                )
+            stale = []  # dropped from the file; gate on `pruned` below
+    elif args.prune_baseline:
+        print("error: --prune-baseline requires a baseline file", file=sys.stderr)
+        return 2
 
     if args.format == "json":
         print(
@@ -122,4 +166,4 @@ def main(argv: list[str] | None = None) -> int:
             report.format_text(result, baselined, stale, unjustified),
             file=out,
         )
-    return 1 if (result.findings or unjustified) else 0
+    return 1 if (result.findings or unjustified or pruned) else 0

@@ -86,6 +86,15 @@ class Rule:
     def check_module(self, module: ModuleContext) -> Iterable[Finding]:
         return ()
 
+    def check_project(self, graph) -> Iterable[Finding]:
+        """Whole-program findings, given a ``ProjectGraph`` over the scan.
+
+        Called once per run, after every ``check_module`` and before
+        ``finalize``.  Per-file rules ignore it; the interprocedural
+        rules (REP008/REP009) do their whole work here.
+        """
+        return ()
+
     def finalize(self) -> Iterable[Finding]:
         """Cross-module findings, called once after every module."""
         return ()
@@ -127,6 +136,55 @@ def suppressed_codes(source: str) -> dict[int, frozenset[str]]:
             out[lineno] = frozenset(
                 c.strip().upper() for c in codes.split(",") if c.strip()
             )
+    return out
+
+
+#: Simple (non-compound) statements whose ``# repro: noqa`` on the first
+#: physical line extends over the whole statement.  Compound statements
+#: (def/if/for/with/...) are deliberately excluded: a pragma on a
+#: ``def`` line must not blanket-suppress the entire body.
+_SIMPLE_STMTS = (
+    ast.Expr,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+)
+
+
+def expand_statement_pragmas(
+    tree: ast.Module, pragmas: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Extend pragmas on multi-line simple statements to every line.
+
+    A ``# repro: noqa(REP0xx)`` on the first line of a multi-line call
+    must suppress findings anchored to *any* physical line of that
+    statement (an argument on line 3 carries the call's ``lineno`` of
+    the argument node, not the statement head).  Codes are unioned with
+    any pragma already on the inner line; a blanket pragma (empty set)
+    on either side wins.
+    """
+    out = dict(pragmas)
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None or end <= node.lineno:
+            continue
+        head = pragmas.get(node.lineno)
+        if head is None:
+            continue
+        for line in range(node.lineno + 1, end + 1):
+            existing = out.get(line)
+            if existing is None:
+                out[line] = head
+            elif not head or not existing:
+                out[line] = frozenset()  # blanket suppression wins
+            else:
+                out[line] = existing | head
     return out
 
 

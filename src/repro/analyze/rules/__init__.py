@@ -2,6 +2,7 @@
 
 from repro.analyze.rules import (
     determinism,
+    interprocedural,
     numeric,
     observe_use,
     perf,

@@ -57,6 +57,27 @@ _WALL_CLOCK = {
 _PHYSICS_DIRS = ("md", "kmc", "core")
 
 
+def classify_nondet_source(target: str) -> str | None:
+    """Short description of a REP001-class source call, or ``None``.
+
+    Shared with REP008: given a canonical dotted call target, return
+    ``"global-state RNG <target>"`` / ``"wall-clock read <target>"`` when
+    the call is a nondeterminism source, independent of location (the
+    caller decides whether the location makes it a violation).
+    """
+    if target.startswith("numpy.random."):
+        leaf = target.split(".")[2]
+        if leaf not in _NUMPY_ALLOWED:
+            return f"global-state RNG {target}"
+    elif target.startswith("random."):
+        leaf = target.split(".")[1]
+        if leaf not in _STDLIB_ALLOWED:
+            return f"global-state RNG {target}"
+    elif target in _WALL_CLOCK:
+        return f"wall-clock read {target}"
+    return None
+
+
 @register
 class NondeterminismRule(Rule):
     code = "REP001"

@@ -11,6 +11,7 @@ from repro.analyze.core import (
     ModuleContext,
     Rule,
     all_rules,
+    expand_statement_pragmas,
     is_suppressed,
     suppressed_codes,
 )
@@ -71,6 +72,7 @@ def analyze_paths(
     result = AnalysisResult()
     raw: list[tuple[Finding, dict[int, frozenset[str]]]] = []
     pragma_by_path: dict[str, dict[int, frozenset[str]]] = {}
+    modules: list[ModuleContext] = []
 
     for path in iter_python_files(paths):
         rel = _rel(path, root)
@@ -84,11 +86,21 @@ def analyze_paths(
             continue
         result.files_scanned += 1
         module = ModuleContext(rel, source, tree)
-        pragmas = suppressed_codes(source)
+        modules.append(module)
+        pragmas = expand_statement_pragmas(tree, suppressed_codes(source))
         pragma_by_path[rel] = pragmas
         for rule in rules:
             for finding in rule.check_module(module):
                 raw.append((finding, pragmas))
+
+    # Whole-program pass: one symbol table + call graph over every
+    # parsed module feeds the interprocedural rules.
+    from repro.analyze.graph import ProjectGraph
+
+    graph = ProjectGraph(modules)
+    for rule in rules:
+        for finding in rule.check_project(graph):
+            raw.append((finding, pragma_by_path.get(finding.path, {})))
 
     # Cross-module findings (e.g. tag pairing) surface here; look their
     # pragmas up by path so an inline noqa still applies.

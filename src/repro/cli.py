@@ -27,6 +27,7 @@ status 2 and a ``usage:`` message on stderr.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 #: Figure id -> experiment module name.
@@ -214,6 +215,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "physical workers for the overdecomposed/rank-group "
             "backends (default: REPRO_WORKERS or the cpu count)"
+        ),
+    )
+    coupled.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run with the communication sanitizer (vector-clock "
+            "happens-before checking of every simmpi world; equivalent "
+            "to REPRO_SANITIZE=1): unmatched sends, wildcard recv "
+            "races, collective-order divergence, and leaked shm slots "
+            "fail the run with a per-violation report"
         ),
     )
     _add_observe_flags(coupled)
@@ -425,6 +437,11 @@ def cmd_coupled(args) -> int:
 
     if args.trajectory is None and args.trajectory_every != 1:
         args._parser.error("--trajectory-every requires --trajectory")
+    if args.sanitize:
+        # The env knob is the cross-process carrier: forked backend
+        # children and service workers inherit it, and World.run reads
+        # it at dispatch time.
+        os.environ["REPRO_SANITIZE"] = "1"
     if args.faults is not None:
         # Parse-time validated (argparse type); describe for the log.
         print(f"fault plan: {FaultPlan.parse(args.faults).describe()}")
@@ -509,6 +526,12 @@ def cmd_coupled(args) -> int:
             f"trajectory: {result.trajectory_frames} frames "
             f"-> {result.trajectory_path}"
         )
+    if args.sanitize:
+        from repro.runtime.sanitize import SUMMARY
+
+        # A violation raises SanitizerError long before this line, so
+        # reaching it means every checked world validated clean.
+        print(f"sanitizer: clean ({SUMMARY['worlds']} world(s) checked)")
     _finish_observation(args, registry)
     return 0
 

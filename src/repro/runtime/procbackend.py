@@ -698,6 +698,7 @@ def run_process_world(
         # may leak /dev/shm space past the world's lifetime.
         if pool is not None:
             leaked = pool.leaked_slots()
+            world.shm_leaked_slots = leaked  # the sanitizer reads this
             if leaked:  # a terminated child died holding slots
                 obs.add("runtime.shm.leaked_slots", leaked)
             pool.destroy()

@@ -1,0 +1,456 @@
+"""Runtime communication sanitizer: a vector-clock happens-before ledger.
+
+The static rules (REP002/REP009) reject the statically decidable
+protocol bugs; this module catches the rest *at runtime*, TSan-style.
+With ``REPRO_SANITIZE=1`` (or ``World(sanitize=True)``, or ``--sanitize``
+on the CLI) every rank's communicator is wrapped in a
+:class:`SanitizedComm` that
+
+* stamps each point-to-point payload with the sender's vector clock and
+  merges clocks on receive — the happens-before order of the run;
+* flags **recv races**: a wildcard receive (``ANY_SOURCE``/``ANY_TAG``)
+  that matched one message while a *concurrent* rival (neither send
+  happens-before the other) also matched — the delivered value depends
+  on scheduling, which is exactly the nondeterminism the paper's
+  bit-identity claims forbid;
+* records every send/recv per ``(source, dest, tag)`` with the first
+  call site, so **unmatched sends** are reported at teardown with rank,
+  tag and ``file:line``;
+* records the per-rank **collective order** (barrier/allgather/
+  allreduce/bcast/win_create/fence) and reports the first divergence
+  between ranks — the halo-exchange/fence protocol of §2.2.1 requires
+  all ranks to execute the same collective sequence;
+* surfaces **leaked shm slots** from the process backend's pool.
+
+At teardown every rank allgathers its ledger and all ranks compute the
+same verdict; :class:`repro.runtime.simmpi.World.run` unwraps it,
+publishes ``runtime.sanitize.*`` observe counters, and raises
+:class:`SanitizerError` when violations exist.
+
+The instrumentation deliberately rides *on top of* the normal transport
+(every user collective becomes one slot exchange carrying the clock, so
+divergent collective *kinds* still line up instead of deadlocking) and
+all state crosses process boundaries as plain tuples/dicts — it works
+identically on the thread, process, and overdecomposed backends,
+including journal-replay rank migration.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Callable
+
+from repro import observe as obs
+from repro.runtime.simmpi import ANY_SOURCE, ANY_TAG, reduce_values
+from repro.runtime.stats import SANITIZE_ENVELOPE as _ENVELOPE
+#: Marker prefix for a wrapped per-rank (result, report) pair.
+_RESULT = "__repro_sanitize_result__"
+
+#: Rolling process-wide summary for CLI reporting (parent process only).
+SUMMARY = {"worlds": 0, "violations": 0}
+
+
+class SanitizerError(RuntimeError):
+    """The sanitizer found protocol violations; ``report`` has details."""
+
+    def __init__(self, report: dict) -> None:
+        self.report = report
+        lines = [
+            f"communication sanitizer: {len(report['violations'])} "
+            "violation(s)"
+        ]
+        lines += ["  - " + _violation_text(v) for v in report["violations"]]
+        super().__init__("\n".join(lines))
+
+
+def _violation_text(v: dict) -> str:
+    kind = v.get("kind")
+    if kind == "unmatched_send":
+        return (
+            f"unmatched send: rank {v['source']} -> rank {v['dest']} "
+            f"tag {v['tag']} x{v['count']} never received "
+            f"(first send at {v['site']})"
+        )
+    if kind == "recv_race":
+        return (
+            f"recv race on rank {v['rank']}: wildcard recv at {v['site']} "
+            f"matched (source={v['matched_source']}, tag={v['matched_tag']}) "
+            f"while a concurrent rival (source={v['rival_source']}, "
+            f"tag={v['rival_tag']}) also matched — delivery order is "
+            "schedule-dependent"
+        )
+    if kind == "collective_divergence":
+        return (
+            f"collective order diverges at step {v['step']}: "
+            + ", ".join(
+                f"rank {r} did {e}" for r, e in sorted(v["events"].items())
+            )
+        )
+    if kind == "shm_leak":
+        return f"shared-memory pool leaked {v['count']} slot(s) at teardown"
+    return str(v)
+
+
+def sanitize_enabled(override: bool | None = None) -> bool:
+    """Whether sanitized execution is requested (kwarg beats env)."""
+    if override is not None:
+        return bool(override)
+    env = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    return env in ("1", "true", "yes", "on")
+
+
+def _call_site() -> str:
+    """``file:line`` of the first frame outside this module."""
+    frame = sys._getframe(1)
+    here = __file__
+    while frame is not None and frame.f_code.co_filename == here:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - defensive
+        return "<unknown>"
+    return f"{os.path.basename(frame.f_code.co_filename)}:{frame.f_lineno}"
+
+
+def _concurrent(a: tuple, b: tuple) -> bool:
+    """Neither clock happens-before the other."""
+    return not all(x <= y for x, y in zip(a, b)) and not all(
+        y <= x for x, y in zip(a, b)
+    )
+
+
+def _unwrap(payload) -> tuple[tuple | None, Any]:
+    """(sender clock, user payload) of a possibly-enveloped payload."""
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 3
+        and isinstance(payload[0], str)
+        and payload[0] == _ENVELOPE
+    ):
+        return tuple(payload[1]), payload[2]
+    return None, payload
+
+
+class _Ledger:
+    """One rank's record of communication, exported as plain data."""
+
+    def __init__(self) -> None:
+        # (dest, tag) -> [count, first call site]
+        self.sends: dict[tuple[int, int], list] = {}
+        # (source, tag) -> count
+        self.recvs: dict[tuple[int, int], int] = {}
+        self.events: list[tuple] = []
+        self.races: list[dict] = []
+
+    def record_send(self, dest: int, tag: int, site: str) -> None:
+        slot = self.sends.setdefault((dest, tag), [0, site])
+        slot[0] += 1
+
+    def record_recv(self, source: int, tag: int) -> None:
+        self.recvs[(source, tag)] = self.recvs.get((source, tag), 0) + 1
+
+    def export(self, rank: int) -> dict:
+        return {
+            "rank": rank,
+            "sends": [
+                [dest, tag, count, site]
+                for (dest, tag), (count, site) in sorted(self.sends.items())
+            ],
+            "recvs": [
+                [source, tag, count]
+                for (source, tag), count in sorted(self.recvs.items())
+            ],
+            "events": [list(e) for e in self.events],
+            "races": list(self.races),
+        }
+
+
+class SanitizedWindow:
+    """Window proxy: clock-stamps puts, records fence epochs."""
+
+    def __init__(self, comm: "SanitizedComm", inner) -> None:
+        self._comm = comm
+        self._inner = inner
+
+    def put(self, target: int, payload) -> None:
+        comm = self._comm
+        comm._vc[comm.rank] += 1
+        self._inner.put(target, (_ENVELOPE, tuple(comm._vc), payload))
+
+    def fence(self) -> list:
+        comm = self._comm
+        comm._ledger.events.append(("fence",))
+        drained = self._inner.fence()
+        out = []
+        for origin, payload in drained:
+            vc, user = _unwrap(payload)
+            if vc is not None:
+                comm._merge(vc)
+            out.append((origin, user))
+        comm._vc[comm.rank] += 1
+        return out
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class SanitizedComm:
+    """Communicator proxy building the happens-before ledger.
+
+    Every user-facing operation of :class:`~repro.runtime.simmpi.RankComm`
+    is intercepted; everything else (``stats``, ``world``,
+    ``fault_point`` arguments, ...) forwards to the wrapped comm, so
+    engines run unmodified.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self._vc = [0] * inner.size
+        self._ledger = _Ledger()
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._inner.rank
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def _merge(self, other: tuple) -> None:
+        vc = self._vc
+        for i, x in enumerate(other):
+            if x > vc[i]:
+                vc[i] = x
+
+    # -- two-sided -----------------------------------------------------
+    def send(self, dest: int, tag: int, payload=None) -> None:
+        self._vc[self.rank] += 1
+        self._inner.send(dest, tag, (_ENVELOPE, tuple(self._vc), payload))
+        # Recorded only after the send validated and deposited — a
+        # rejected dest/tag never reaches any mailbox and must not be
+        # reported as unmatched.
+        self._ledger.record_send(dest, tag, _call_site())
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        src, t, payload = self._inner.recv(source, tag)
+        vc, user = _unwrap(payload)
+        if vc is not None and (source == ANY_SOURCE or tag == ANY_TAG):
+            self._scan_for_race(source, tag, src, t, vc)
+        if vc is not None:
+            self._merge(vc)
+        self._vc[self.rank] += 1
+        self._ledger.record_recv(src, t)
+        return src, t, user
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        return self._inner.probe(source, tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        return self._inner.iprobe(source, tag)
+
+    def _scan_for_race(
+        self, source: int, tag: int, matched_src: int, matched_tag: int,
+        matched_vc: tuple,
+    ) -> None:
+        """After a wildcard match, look for concurrent rival candidates.
+
+        The rival is still queued in this rank's mailbox; if its send is
+        concurrent with the matched one, the runtime could have handed
+        either message to this recv — a schedule-dependent result.
+        FIFO per (source, tag) means same-channel messages are never
+        concurrent, so pinned-source schemes stay clean by construction.
+        """
+        try:
+            mailbox = self._inner.world.mailboxes[self.rank]
+            with mailbox._cond:
+                queued = list(mailbox._queue)
+        except (AttributeError, TypeError, IndexError):
+            return  # replay comms serve from the journal; nothing queued
+        for src, t, payload, _nbytes in queued:
+            if source not in (ANY_SOURCE, src):
+                continue
+            if tag not in (ANY_TAG, t):
+                continue
+            vc, _user = _unwrap(payload)
+            if vc is None or not _concurrent(matched_vc, vc):
+                continue
+            self._ledger.races.append(
+                {
+                    "kind": "recv_race",
+                    "rank": self.rank,
+                    "site": _call_site(),
+                    "matched_source": matched_src,
+                    "matched_tag": matched_tag,
+                    "rival_source": src,
+                    "rival_tag": t,
+                }
+            )
+
+    # -- collectives ---------------------------------------------------
+    # Every user collective maps to exactly ONE underlying slot exchange
+    # carrying (clock, value).  That uniformity is load-bearing: when
+    # ranks diverge (one calls barrier while another calls allgather)
+    # the underlying exchanges still pair up, the world completes, and
+    # the divergence is *reported* at teardown instead of deadlocking.
+    def _exchange(self, value) -> list:
+        outs = self._inner.allgather((_ENVELOPE, tuple(self._vc), value))
+        users = []
+        for item in outs:
+            vc, user = _unwrap(item)
+            if vc is not None:
+                self._merge(vc)
+            users.append(user)
+        self._vc[self.rank] += 1
+        return users
+
+    def barrier(self) -> None:
+        self._ledger.events.append(("barrier",))
+        self._exchange(None)
+
+    def allgather(self, value) -> list:
+        self._ledger.events.append(("allgather",))
+        return self._exchange(value)
+
+    def allreduce(self, value, op: str = "sum"):
+        self._ledger.events.append(("allreduce", op))
+        return reduce_values(self._exchange(value), op)
+
+    def bcast(self, value=None, root: int = 0):
+        if not 0 <= root < self.size:
+            raise ValueError(f"root rank {root} out of range")
+        self._ledger.events.append(("bcast", root))
+        values = self._exchange(value if self.rank == root else None)
+        return values[root]
+
+    # -- one-sided -----------------------------------------------------
+    def win_create(self) -> SanitizedWindow:
+        self._ledger.events.append(("win_create",))
+        return SanitizedWindow(self, self._inner.win_create())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedComm({self._inner!r})"
+
+
+def _validate(exports: list[dict]) -> dict:
+    """Deterministic verdict over all ranks' ledgers.
+
+    Every rank runs this on the same allgathered data, so every rank
+    (and the parent, after unwrapping) sees the identical report.
+    """
+    violations: list[dict] = []
+
+    sent: dict[tuple[int, int, int], list] = {}
+    received: dict[tuple[int, int, int], int] = {}
+    for export in exports:
+        rank = export["rank"]
+        for dest, tag, count, site in export["sends"]:
+            slot = sent.setdefault((rank, dest, tag), [0, site])
+            slot[0] += count
+        for source, tag, count in export["recvs"]:
+            key = (source, rank, tag)
+            received[key] = received.get(key, 0) + count
+    for (source, dest, tag), (count, site) in sorted(sent.items()):
+        missing = count - received.get((source, dest, tag), 0)
+        if missing > 0:
+            violations.append(
+                {
+                    "kind": "unmatched_send",
+                    "source": source,
+                    "dest": dest,
+                    "tag": tag,
+                    "count": missing,
+                    "site": site,
+                }
+            )
+
+    for export in exports:
+        violations.extend(export["races"])
+
+    sequences = {e["rank"]: e["events"] for e in exports}
+    longest = max((len(s) for s in sequences.values()), default=0)
+    for step in range(longest):
+        step_events = {
+            rank: (seq[step] if step < len(seq) else ["<missing>"])
+            for rank, seq in sorted(sequences.items())
+        }
+        distinct = {tuple(e) for e in step_events.values()}
+        if len(distinct) > 1:
+            violations.append(
+                {
+                    "kind": "collective_divergence",
+                    "step": step,
+                    "events": {
+                        rank: tuple(e) for rank, e in step_events.items()
+                    },
+                }
+            )
+            break  # later steps are garbage once the order diverged
+
+    return {
+        "ranks": len(exports),
+        "sends": sum(c for c, _ in sent.values()),
+        "collectives": sum(len(s) for s in sequences.values()),
+        "violations": violations,
+    }
+
+
+def wrap_main(main: Callable) -> Callable:
+    """The sanitized SPMD entry point :class:`World.run` dispatches.
+
+    Wraps the user's ``main`` so each rank communicates through a
+    :class:`SanitizedComm`, then allgathers the per-rank ledgers and
+    returns ``(marker, result, report)``; the world unwraps it in
+    :func:`finish_world`.  Works on every backend — on rank migration
+    the replacement rank re-enters here and rebuilds its ledger from the
+    journal replay.
+    """
+
+    def sanitized_main(inner_comm):
+        comm = SanitizedComm(inner_comm)
+        result = main(comm)
+        exports = inner_comm.allgather(comm._ledger.export(comm.rank))
+        report = _validate(exports)
+        return (_RESULT, result, report)
+
+    return sanitized_main
+
+
+def finish_world(world, results: list) -> list:
+    """Unwrap sanitized results, publish counters, fail on violations."""
+    unwrapped: list = []
+    report: dict | None = None
+    for item in results:
+        if (
+            isinstance(item, tuple)
+            and len(item) == 3
+            and isinstance(item[0], str)
+            and item[0] == _RESULT
+        ):
+            unwrapped.append(item[1])
+            report = item[2]
+        else:  # pragma: no cover - defensive (rank skipped teardown)
+            unwrapped.append(item)
+    if report is None:  # pragma: no cover - defensive
+        return unwrapped
+
+    leaked = getattr(world, "shm_leaked_slots", 0)
+    if leaked:
+        report["violations"].append({"kind": "shm_leak", "count": leaked})
+
+    obs.add("runtime.sanitize.worlds")
+    obs.add("runtime.sanitize.sends", report["sends"])
+    obs.add("runtime.sanitize.collectives", report["collectives"])
+    SUMMARY["worlds"] += 1
+    if report["violations"]:
+        kinds: dict[str, int] = {}
+        for v in report["violations"]:
+            kinds[v["kind"]] = kinds.get(v["kind"], 0) + 1
+        for kind, count in sorted(kinds.items()):
+            obs.add(f"runtime.sanitize.violation.{kind}", count)
+        obs.add("runtime.sanitize.violations", len(report["violations"]))
+        SUMMARY["violations"] += len(report["violations"])
+        raise SanitizerError(report)
+    return unwrapped

@@ -214,6 +214,31 @@ class _Collectives:
         return out
 
 
+def reduce_values(values: list, op: str):
+    """Rank-ordered reduction shared by allreduce implementations.
+
+    Kept as a module-level function so the sanitizer's wrapped
+    ``allreduce`` reduces in the exact same order — bit-identity between
+    sanitized and plain runs depends on it.
+    """
+    if op == "sum":
+        out = values[0]
+        for v in values[1:]:
+            out = out + v
+        return out
+    if op == "min":
+        out = values[0]
+        for v in values[1:]:
+            out = np.minimum(out, v) if isinstance(out, np.ndarray) else min(out, v)
+        return out
+    if op == "max":
+        out = values[0]
+        for v in values[1:]:
+            out = np.maximum(out, v) if isinstance(out, np.ndarray) else max(out, v)
+        return out
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
 #: Reusable no-op context for worlds without a scheduler: the thread and
 #: process backends pay one attribute check per blocking call, nothing
 #: more.
@@ -352,23 +377,7 @@ class RankComm:
 
         Works on scalars and NumPy arrays (elementwise).
         """
-        values = self.allgather(value)
-        if op == "sum":
-            out = values[0]
-            for v in values[1:]:
-                out = out + v
-            return out
-        if op == "min":
-            out = values[0]
-            for v in values[1:]:
-                out = np.minimum(out, v) if isinstance(out, np.ndarray) else min(out, v)
-            return out
-        if op == "max":
-            out = values[0]
-            for v in values[1:]:
-                out = np.maximum(out, v) if isinstance(out, np.ndarray) else max(out, v)
-            return out
-        raise ValueError(f"unknown reduction op {op!r}")
+        return reduce_values(self.allgather(value), op)
 
     def bcast(self, value=None, root: int = 0):
         """Broadcast ``value`` from ``root`` to all ranks."""
@@ -499,6 +508,7 @@ class World:
         backend: str | None = None,
         workers: int | None = None,
         migration: bool | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -516,6 +526,9 @@ class World:
             FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
         )
         self.watchdog = watchdog
+        #: ``True``/``False`` force the communication sanitizer on/off
+        #: for this world; ``None`` defers to ``REPRO_SANITIZE``.
+        self.sanitize = sanitize
         #: The active RankScheduler on the overdecomposed backend.
         self.scheduler = None
         #: Ranks migrated (journal-replayed) after an injected crash.
@@ -550,25 +563,37 @@ class World:
         run_workers = (
             resolve_workers(workers) if workers is not None else self.workers
         )
+        from repro.runtime.sanitize import (
+            finish_world,
+            sanitize_enabled,
+            wrap_main,
+        )
+
+        sanitizing = sanitize_enabled(self.sanitize)
+        run_main = wrap_main(main) if sanitizing else main
         if resolved == "process":
             from repro.runtime.procbackend import run_process_world
 
-            return run_process_world(
-                self, main, timeout=timeout, grace=grace, workers=run_workers
+            results = run_process_world(
+                self, run_main, timeout=timeout, grace=grace,
+                workers=run_workers,
             )
+            return finish_world(self, results) if sanitizing else results
         if resolved == "overdecomposed":
             from repro.runtime.scheduler import run_overdecomposed_world
 
-            return run_overdecomposed_world(
-                self, main, timeout=timeout, grace=grace, workers=run_workers
+            results = run_overdecomposed_world(
+                self, run_main, timeout=timeout, grace=grace,
+                workers=run_workers,
             )
+            return finish_world(self, results) if sanitizing else results
         results: list[Any] = [None] * self.nranks
         threads = []
 
         def wrapper(rank: int) -> None:
             comm = RankComm(self, rank)
             try:
-                results[rank] = main(comm)
+                results[rank] = run_main(comm)
             except WorldAborted:
                 pass
             except BaseException as exc:  # must cross threads (see baseline)
@@ -611,7 +636,7 @@ class World:
                 # their messages already carry the rank and location.
                 raise exc
             raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
-        return results
+        return finish_world(self, results) if sanitizing else results
 
     def abort_world(self) -> None:
         """Abort all ranks: unblock collectives and every waiting mailbox.

@@ -22,6 +22,11 @@ import numpy as np
 from repro import observe as obs
 from repro.runtime.netmodel import NetworkModel
 
+#: Marker prefix of the sanitizer's clock-stamped payload envelopes
+#: (see :mod:`repro.runtime.sanitize`).  Defined here so accounting can
+#: strip the instrumentation without importing the sanitizer.
+SANITIZE_ENVELOPE = "__repro_sanitize__"
+
 
 def payload_nbytes(obj) -> int:
     """Wire size of a message payload in bytes.
@@ -40,7 +45,19 @@ def payload_nbytes(obj) -> int:
     its pickled size.  Pickled sizes are memoized on ``id()`` within one
     message, so a payload repeating the same object pays for one
     ``pickle.dumps``.
+
+    Sanitizer envelopes are costed at their *user* payload: the vector
+    clock riding along is instrumentation, and sanitized runs must
+    account the same protocol traffic as plain runs (the Figure 12/13
+    volumes and the traffic-profile assertions depend on it).
     """
+    if (
+        type(obj) is tuple
+        and len(obj) == 3
+        and isinstance(obj[0], str)
+        and obj[0] == SANITIZE_ENVELOPE
+    ):
+        obj = obj[2]
     return _payload_nbytes(obj, None)
 
 

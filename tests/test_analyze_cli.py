@@ -201,6 +201,73 @@ class TestSuppression:
         assert "stale baseline" in capsys.readouterr().out
 
 
+class TestPruneBaseline:
+    def stale_entry(self):
+        return {
+            "rule": "REP004",
+            "path": "src/repro/kmc/gone.py",
+            "snippet": "assert x",
+            "justification": "was fixed long ago",
+        }
+
+    def live_entry(self):
+        return {
+            "rule": "REP001",
+            "path": "src/repro/kmc/bad.py",
+            "snippet": "return np.random.rand()",
+            "justification": "seeded fixture, known dirty",
+            "justified": True,
+        }
+
+    def test_prune_rewrites_file_and_exits_one(self, tree, capsys):
+        (tree / "base.json").write_text(
+            json.dumps({"suppressions": [self.live_entry(), self.stale_entry()]})
+        )
+        assert main(
+            ["src", "--baseline", "base.json", "--prune-baseline"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "pruned stale baseline entry" in out
+        assert "gone.py" in out
+        doc = json.loads((tree / "base.json").read_text())
+        assert [e["path"] for e in doc["suppressions"]] == [
+            "src/repro/kmc/bad.py"
+        ]
+        # Second run: nothing stale left, scan is clean.
+        capsys.readouterr()
+        assert main(
+            ["src", "--baseline", "base.json", "--prune-baseline"]
+        ) == 0
+        assert "pruned" not in capsys.readouterr().out
+
+    def test_prune_without_stale_entries_is_a_no_op(self, tree):
+        (tree / "base.json").write_text(
+            json.dumps({"suppressions": [self.live_entry()]})
+        )
+        before = (tree / "base.json").read_text()
+        assert main(
+            ["src", "--baseline", "base.json", "--prune-baseline"]
+        ) == 0
+        assert (tree / "base.json").read_text() == before
+
+    def test_prune_without_baseline_file_is_an_error(self, tree, capsys):
+        assert main(["src", "--prune-baseline"]) == 2
+        assert "baseline" in capsys.readouterr().err.lower()
+
+
+class TestRuleSubset:
+    def test_rules_flag_restricts_the_scan(self, tree, capsys):
+        # The tree has a REP001 finding; scanning only REP004 is clean.
+        assert main(["src", "--rules", "REP004"]) == 0
+        capsys.readouterr()
+        assert main(["src", "--rules", "REP001,REP004"]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_unknown_rule_in_subset_exits_two(self, tree, capsys):
+        assert main(["src", "--rules", "REP001,REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+
 class TestBaselineUnit:
     def test_render_then_load(self, tmp_path):
         f = Finding("REP004", "src/x.py", 3, 0, "msg", "assert x")

@@ -1,0 +1,165 @@
+"""Framework-core coverage: import resolution, pragmas, statement extents."""
+
+import ast
+import textwrap
+
+from repro.analyze.core import (
+    Finding,
+    ImportMap,
+    expand_statement_pragmas,
+    is_suppressed,
+    suppressed_codes,
+)
+
+
+def import_map(source):
+    return ImportMap(ast.parse(textwrap.dedent(source)))
+
+
+def call_expr(source):
+    return ast.parse(textwrap.dedent(source)).body[0].value.func
+
+
+class TestImportMapResolveCall:
+    def test_plain_import_resolves_to_root(self):
+        m = import_map("import numpy\n")
+        assert m.resolve_call(call_expr("numpy.random.rand()")) == (
+            "numpy.random.rand"
+        )
+
+    def test_aliased_import_keeps_full_dotted_path(self):
+        m = import_map("import numpy.random as nr\n")
+        assert m.resolve_call(call_expr("nr.rand()")) == "numpy.random.rand"
+
+    def test_unaliased_dotted_import_binds_the_root_name(self):
+        # ``import os.path`` binds ``os``; attribute chains extend it.
+        m = import_map("import os.path\n")
+        assert m.resolve_call(call_expr("os.path.join()")) == "os.path.join"
+
+    def test_from_import_as_resolves_alias(self):
+        m = import_map("from numpy import random as r\n")
+        assert m.resolve_call(call_expr("r.rand()")) == "numpy.random.rand"
+
+    def test_from_import_name_resolves_directly(self):
+        m = import_map("from time import perf_counter\n")
+        assert m.resolve_call(call_expr("perf_counter()")) == (
+            "time.perf_counter"
+        )
+
+    def test_deep_attribute_chain(self):
+        m = import_map("import numpy as np\n")
+        assert m.resolve_call(call_expr("np.add.at(x, i, v)")) == "numpy.add.at"
+
+    def test_unknown_roots_and_non_name_bases_are_none(self):
+        m = import_map("import numpy as np\n")
+        assert m.resolve_call(call_expr("local_fn()")) is None
+        assert m.resolve_call(call_expr("obj.method()")) is None
+        assert m.resolve_call(call_expr("get()().chained()")) is None
+
+    def test_star_and_relative_imports_are_skipped(self):
+        m = import_map("from numpy import *\nfrom . import helpers\n")
+        assert m.resolve_call(call_expr("rand()")) is None
+        assert m.resolve_call(call_expr("helpers.work()")) is None
+
+
+class TestSuppressedCodes:
+    def test_blanket_noqa_is_empty_frozenset(self):
+        out = suppressed_codes("x = 1  # repro: noqa\n")
+        assert out == {1: frozenset()}
+
+    def test_scoped_codes_parse_with_spaces_and_case(self):
+        out = suppressed_codes("x = 1  # repro: noqa(rep001, REP003 )\n")
+        assert out == {1: frozenset({"REP001", "REP003"})}
+
+    def test_justification_text_after_pragma_is_accepted(self):
+        out = suppressed_codes(
+            "t = time.time()  # repro: noqa(REP001) wall time is only logged\n"
+        )
+        assert out == {1: frozenset({"REP001"})}
+
+    def test_unmarked_lines_have_no_entry(self):
+        out = suppressed_codes("x = 1\ny = 2  # repro: noqa(REP001)\n")
+        assert 1 not in out and 2 in out
+
+    def test_is_suppressed_matches_code_and_blanket(self):
+        f = Finding("REP001", "src/x.py", 3, 0, "m")
+        assert is_suppressed(f, {3: frozenset()})
+        assert is_suppressed(f, {3: frozenset({"REP001"})})
+        assert not is_suppressed(f, {3: frozenset({"REP002"})})
+        assert not is_suppressed(f, {4: frozenset()})
+
+
+class TestStatementExtentPragmas:
+    def test_pragma_covers_later_lines_of_multiline_statement(self):
+        source = textwrap.dedent("""\
+        import numpy as np
+
+        x = compute(  # repro: noqa(REP001) seeded upstream
+            np.random.rand(),
+            3,
+        )
+        """)
+        pragmas = expand_statement_pragmas(
+            ast.parse(source), suppressed_codes(source)
+        )
+        # The call argument on line 4 anchors findings there; the pragma
+        # on the statement head (line 3) must reach it.
+        f = Finding("REP001", "src/x.py", 4, 4, "m")
+        assert is_suppressed(f, pragmas)
+
+    def test_pragma_on_def_line_does_not_blanket_the_body(self):
+        source = textwrap.dedent("""\
+        def f():  # repro: noqa(REP001) about the signature only
+            return np.random.rand()
+        """)
+        pragmas = expand_statement_pragmas(
+            ast.parse(source), suppressed_codes(source)
+        )
+        f = Finding("REP001", "src/x.py", 2, 11, "m")
+        assert not is_suppressed(f, pragmas)
+
+    def test_inner_line_codes_are_unioned_not_replaced(self):
+        source = textwrap.dedent("""\
+        x = compute(  # repro: noqa(REP001) head reason
+            risky(),  # repro: noqa(REP003) inner reason
+        )
+        """)
+        pragmas = expand_statement_pragmas(
+            ast.parse(source), suppressed_codes(source)
+        )
+        assert pragmas[2] == frozenset({"REP001", "REP003"})
+
+    def test_end_to_end_through_the_runner(self, tmp_path):
+        from repro.analyze.runner import analyze_paths
+
+        src = tmp_path / "src" / "repro" / "kmc"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text(
+            textwrap.dedent("""\
+            import numpy as np
+
+            x = sum(  # repro: noqa(REP001) regression: multi-line extent
+                [np.random.rand()]
+            )
+            """)
+        )
+        result = analyze_paths([tmp_path / "src"], root=tmp_path)
+        assert [f for f in result.findings if f.rule == "REP001"] == []
+        assert any(f.rule == "REP001" for f in result.suppressed)
+
+
+class TestBaselineJustificationParsing:
+    def test_unjustified_flag_and_placeholder_text(self):
+        from repro.analyze.baseline import TODO_JUSTIFICATION, entry_is_justified
+
+        base = {"rule": "REP001", "path": "p", "snippet": "s"}
+        assert entry_is_justified({**base, "justification": "real reason"})
+        assert not entry_is_justified(
+            {**base, "justification": "real reason", "justified": False}
+        )
+        assert not entry_is_justified(
+            {**base, "justification": TODO_JUSTIFICATION}
+        )
+        assert not entry_is_justified(
+            {**base, "justification": f"  {TODO_JUSTIFICATION}  "}
+        )

@@ -130,9 +130,16 @@ class TestTransportParity:
             comm.barrier()
             return None
 
+        from repro.runtime.sanitize import SanitizerError, sanitize_enabled
+
         world = World(2, backend="process")
-        world.run(main, timeout=60.0)
-        assert world.pending_messages() == 1
+        if sanitize_enabled():
+            # The deliberately unconsumed message IS an unmatched send.
+            with pytest.raises(SanitizerError, match="tag 3"):
+                world.run(main, timeout=60.0)
+        else:
+            world.run(main, timeout=60.0)
+            assert world.pending_messages() == 1
 
 
 # ----------------------------------------------------------------------
